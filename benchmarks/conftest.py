@@ -1,0 +1,23 @@
+"""Shared benchmark plumbing.
+
+Each bench runs one experiment (E1–E10), saves its rendered tables under
+``benchmarks/results/`` and asserts the classic *shape* of the result.
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+tables inline.
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_tables(name, tables):
+    """Render tables to stdout and to benchmarks/results/<name>.txt."""
+    from repro.bench import render_all
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = render_all(tables)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return text

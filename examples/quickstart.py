@@ -1,0 +1,77 @@
+"""Quickstart: create tables, load data, query, and read an EXPLAIN plan.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import random
+
+from repro import Database
+
+
+def main() -> None:
+    # A database is fully in-process: a simulated disk, a buffer pool of
+    # `buffer_pages` frames, and `work_mem_pages` of memory per blocking
+    # operator (sorts, hash joins).
+    db = Database(buffer_pages=128, work_mem_pages=16)
+
+    db.execute(
+        "CREATE TABLE users (id INT PRIMARY KEY, name TEXT, country TEXT)"
+    )
+    db.execute(
+        "CREATE TABLE purchases (id INT PRIMARY KEY, user_id INT, "
+        "amount FLOAT, item TEXT)"
+    )
+
+    rng = random.Random(7)
+    countries = ["NL", "DE", "FR", "US", "JP"]
+    db.insert_rows(
+        "users",
+        [(i, f"user{i}", rng.choice(countries)) for i in range(1000)],
+    )
+    db.insert_rows(
+        "purchases",
+        [
+            (i, rng.randrange(1000), rng.random() * 500,
+             rng.choice(["book", "game", "tool"]))
+            for i in range(20000)
+        ],
+    )
+
+    # A secondary index gives the optimizer an access path for the join.
+    db.execute("CREATE INDEX ix_purchases_user ON purchases (user_id)")
+
+    # ANALYZE gathers row counts, distinct counts, histograms and
+    # most-common values — everything the cost-based optimizer consumes.
+    db.execute("ANALYZE")
+
+    sql = """
+        SELECT u.country, COUNT(*) AS purchases, SUM(p.amount) AS revenue
+        FROM purchases p, users u
+        WHERE p.user_id = u.id AND p.amount > 100
+        GROUP BY u.country
+        ORDER BY revenue DESC
+    """
+
+    print("=== EXPLAIN ===")
+    print(db.explain(sql))
+
+    print("\n=== RESULTS ===")
+    result = db.query(sql)
+    for row in result.rows:
+        print(f"  {row[0]}: {row[1]:5d} purchases, {row[2]:12.2f} revenue")
+
+    print("\n=== METRICS ===")
+    print(f"  planning: {result.planning_seconds * 1000:.1f} ms")
+    print(f"  execution: {result.execution_seconds * 1000:.1f} ms")
+    print(f"  page I/O: {result.io.reads} reads, {result.io.writes} writes")
+    print(f"  rows scanned: {result.exec_metrics.rows_scanned}")
+
+    # A point query picks the primary-key index instead of scanning.
+    print("\n=== POINT QUERY PLAN ===")
+    print(db.explain("SELECT name FROM users WHERE id = 451"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro — Evaluation and Optimization (VLDB 1977).
+
+A complete reproduction of foundational-era cost-based query evaluation and
+optimization: a relational engine (storage, buffer pool, B+-tree/hash
+indexes, SQL front-end, Volcano executor) whose planner implements the
+classic cost model, selectivity estimation, access-path selection, and
+System-R dynamic-programming join enumeration with interesting orders —
+plus the baseline planners and benchmark harness that regenerate the
+evaluation tables and figures.
+
+Quickstart::
+
+    from repro import Database
+
+    db = Database()
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)")
+    db.execute("INSERT INTO t VALUES (1, 2.5), (2, 7.5)")
+    db.execute("ANALYZE t")
+    print(db.query("SELECT v FROM t WHERE id = 2").rows)
+"""
+
+from .engine import Database, EngineError, QueryResult
+from .optimizer import Cost, CostModel, Planner, PlannerOptions
+from .types import DataType
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "EngineError",
+    "QueryResult",
+    "Cost",
+    "CostModel",
+    "Planner",
+    "PlannerOptions",
+    "DataType",
+    "__version__",
+]

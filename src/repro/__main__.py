@@ -1,0 +1,109 @@
+"""Interactive SQL shell: ``python -m repro``.
+
+A minimal REPL over an in-memory :class:`repro.Database`.  Statements end
+with ``;``.  Meta-commands:
+
+* ``\\d``            — list tables (rows, pages, indexes)
+* ``\\strategy X``   — switch the join-order strategy
+* ``\\timing``       — toggle per-query metrics
+* ``\\load demo``    — load the wholesale demo schema
+* ``\\q``            — quit
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import Database
+from .optimizer import STRATEGIES
+
+
+def _print_result(result, timing: bool) -> None:
+    if result.columns:
+        widths = [
+            max(len(c), *(len(str(row[i])) for row in result.rows))
+            if result.rows
+            else len(c)
+            for i, c in enumerate(result.columns)
+        ]
+        print(" | ".join(c.ljust(w) for c, w in zip(result.columns, widths)))
+        print("-+-".join("-" * w for w in widths))
+        for row in result.rows:
+            print(
+                " | ".join(str(v).ljust(w) for v, w in zip(row, widths))
+            )
+        print(f"({result.rowcount} rows)")
+    if timing and result.io is not None:
+        print(
+            f"[plan {result.planning_seconds * 1000:.1f} ms, "
+            f"exec {result.execution_seconds * 1000:.1f} ms, "
+            f"{result.io.reads} reads / {result.io.writes} writes]"
+        )
+
+
+def _describe(db: Database) -> None:
+    for info in db.catalog.tables():
+        indexes = ", ".join(
+            f"{ix.name}({column}{', clustered' if ix.clustered else ''})"
+            for column, ix in info.indexes.items()
+        )
+        print(
+            f"  {info.name}: {info.num_rows} rows, {info.num_pages} pages"
+            + (f"  [{indexes}]" if indexes else "")
+        )
+
+
+def main(argv=None) -> int:
+    db = Database(buffer_pages=512, work_mem_pages=64)
+    timing = False
+    print("repro SQL shell — \\q quits, \\d lists tables, \\load demo for data")
+    buffer = ""
+    while True:
+        try:
+            prompt = "repro> " if not buffer else "  ...> "
+            line = input(prompt)
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        stripped = line.strip()
+        if not buffer and stripped.startswith("\\"):
+            parts = stripped.split()
+            command = parts[0]
+            if command in ("\\q", "\\quit"):
+                return 0
+            if command == "\\d":
+                _describe(db)
+            elif command == "\\timing":
+                timing = not timing
+                print(f"timing {'on' if timing else 'off'}")
+            elif command == "\\strategy":
+                if len(parts) > 1 and parts[1] in STRATEGIES:
+                    db.set_strategy(parts[1])
+                    print(f"strategy = {parts[1]}")
+                else:
+                    print(f"usage: \\strategy {{{'|'.join(STRATEGIES)}}}")
+            elif command == "\\load" and len(parts) > 1 and parts[1] == "demo":
+                from .workloads import WholesaleScale, load_wholesale
+
+                counts = load_wholesale(db, WholesaleScale.small())
+                print(f"loaded: {counts}")
+            else:
+                print(f"unknown meta-command {command!r}")
+            continue
+        buffer += ("\n" if buffer else "") + line
+        if not buffer.strip():
+            buffer = ""
+            continue
+        if not buffer.rstrip().endswith(";"):
+            continue
+        sql, buffer = buffer, ""
+        try:
+            result = db.execute(sql)
+            _print_result(result, timing)
+        except Exception as exc:  # REPL: report, don't die
+            print(f"error: {exc}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Logical algebra: plan operators, AST->plan builder, rewrites, join graph."""
+
+from .builder import BindError, build_plan
+from .joingraph import (
+    JoinGraph,
+    JoinGraphError,
+    extract_join_graph,
+    is_join_region,
+    rebuild_region,
+    transform_join_regions,
+)
+from .logical import (
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalGet,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNarrow,
+    LogicalPlan,
+    LogicalProject,
+    LogicalSort,
+    PlanError,
+    leaves,
+)
+from .rewrite import prune_columns, push_down_predicates, rewrite
+
+__all__ = [
+    "BindError", "build_plan", "JoinGraph", "JoinGraphError",
+    "extract_join_graph", "is_join_region", "rebuild_region",
+    "transform_join_regions", "LogicalAggregate", "LogicalDistinct",
+    "LogicalFilter", "LogicalGet", "LogicalJoin", "LogicalLimit",
+    "LogicalNarrow", "LogicalPlan", "LogicalProject", "LogicalSort",
+    "PlanError", "leaves", "prune_columns", "push_down_predicates", "rewrite",
+]

@@ -1,0 +1,320 @@
+"""Build a logical plan from a parsed SELECT statement.
+
+Shape produced (bottom to top)::
+
+    Get* → Join (syntactic left-deep) → Filter(WHERE)
+         → Aggregate(+Filter(HAVING)) → Project → Distinct → Sort → Limit
+
+The optimizer later replaces the join tree; the builder's only job is a
+*correct* plan.  Aggregate calls in SELECT/HAVING/ORDER BY are hoisted into
+a single Aggregate operator and replaced with references to its output
+columns.  ORDER BY keys that are not projection outputs are carried as
+hidden projection columns and stripped by a final projection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..catalog import Catalog
+from ..expr import (
+    AggCall,
+    Arithmetic,
+    Between,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Negate,
+    Not,
+    and_,
+    contains_aggregate,
+)
+from ..sql.ast import SelectStmt
+from ..types import Schema
+from .logical import (
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalGet,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalPlan,
+    LogicalProject,
+    LogicalSort,
+    PlanError,
+)
+
+
+class BindError(Exception):
+    """Raised for unresolvable or ambiguous names in the statement."""
+
+
+def build_plan(stmt: SelectStmt, catalog: Catalog) -> LogicalPlan:
+    """Translate a SELECT statement into a logical plan."""
+    return _Builder(catalog).build(stmt)
+
+
+class _Builder:
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    def build(self, stmt: SelectStmt) -> LogicalPlan:
+        if not stmt.from_tables and not stmt.joins:
+            raise BindError("SELECT without FROM is not supported")
+        plan = self._from_clause(stmt)
+        if stmt.where is not None:
+            if contains_aggregate(stmt.where):
+                raise BindError("aggregates are not allowed in WHERE")
+            plan = LogicalFilter(plan, stmt.where)
+
+        select_exprs, names = self._expand_items(stmt, plan.schema)
+        order_exprs = [o.expr for o in stmt.order_by]
+
+        has_group = bool(stmt.group_by)
+        has_aggs = (
+            any(contains_aggregate(e) for e in select_exprs)
+            or (stmt.having is not None and contains_aggregate(stmt.having))
+            or any(contains_aggregate(e) for e in order_exprs)
+        )
+        having = stmt.having
+        if has_group or has_aggs:
+            plan, select_exprs, having, order_exprs = self._aggregate(
+                plan, stmt, select_exprs, having, order_exprs
+            )
+        elif having is not None:
+            raise BindError("HAVING requires GROUP BY or aggregates")
+
+        if having is not None:
+            plan = LogicalFilter(plan, having)
+
+        # Projection (with hidden sort-key columns if needed).
+        order_keys: List[Tuple[Expr, bool]] = []
+        hidden: List[Expr] = []
+        for item, expr in zip(stmt.order_by, order_exprs):
+            resolved = self._resolve_order_key(expr, select_exprs, names)
+            if isinstance(resolved, int):
+                order_keys.append((ColumnRef(names[resolved]), item.ascending))
+            else:
+                hname = f"__sort{len(hidden)}"
+                hidden.append(resolved)
+                names = names + [hname]
+                select_exprs = select_exprs + [resolved]
+                order_keys.append((ColumnRef(hname), item.ascending))
+
+        names = self._dedupe_names(names, select_exprs)
+        plan = LogicalProject(plan, tuple(select_exprs), tuple(names))
+
+        if stmt.distinct:
+            if hidden:
+                raise BindError(
+                    "ORDER BY expressions must appear in SELECT when using DISTINCT"
+                )
+            plan = LogicalDistinct(plan)
+        if order_keys:
+            plan = LogicalSort(plan, tuple(order_keys))
+        if hidden:
+            keep = names[: len(names) - len(hidden)]
+            plan = LogicalProject(
+                plan, tuple(ColumnRef(n) for n in keep), tuple(keep)
+            )
+        if stmt.limit is not None:
+            plan = LogicalLimit(plan, stmt.limit)
+        return plan
+
+    # -- FROM -------------------------------------------------------------------
+
+    def _from_clause(self, stmt: SelectStmt) -> LogicalPlan:
+        seen: Dict[str, bool] = {}
+        scans: List[LogicalPlan] = []
+        conditions: List[Optional[Expr]] = []
+        for ref in stmt.from_tables:
+            scans.append(self._get(ref.table, ref.binding, seen))
+            conditions.append(None)
+        for join in stmt.joins:
+            scans.append(self._get(join.table.table, join.table.binding, seen))
+            conditions.append(join.condition)
+        plan = scans[0]
+        for scan, cond in zip(scans[1:], conditions[1:]):
+            plan = LogicalJoin(plan, scan, cond)
+        return plan
+
+    def _get(self, table: str, binding: str, seen: Dict[str, bool]) -> LogicalGet:
+        key = binding.lower()
+        if key in seen:
+            raise BindError(f"duplicate table binding {binding!r}")
+        seen[key] = True
+        return LogicalGet(self.catalog.table(table), binding)
+
+    # -- SELECT list ------------------------------------------------------------------
+
+    def _expand_items(
+        self, stmt: SelectStmt, schema: Schema
+    ) -> Tuple[List[Expr], List[str]]:
+        exprs: List[Expr] = []
+        names: List[str] = []
+        for item in stmt.items:
+            if item.is_star:
+                for column in schema:
+                    if (
+                        item.star_qualifier is not None
+                        and column.table != item.star_qualifier
+                    ):
+                        continue
+                    exprs.append(ColumnRef(column.qualified_name))
+                    # Star expansion may hit the same bare name in several
+                    # tables; disambiguate later ones with their qualifier.
+                    name = column.name
+                    if name in names:
+                        name = column.qualified_name
+                    names.append(name)
+                if item.star_qualifier is not None and not any(
+                    c.table == item.star_qualifier for c in schema
+                ):
+                    raise BindError(f"unknown table {item.star_qualifier!r} in *")
+                continue
+            exprs.append(item.expr)
+            names.append(item.alias or _default_name(item.expr))
+        return exprs, names
+
+    def _dedupe_names(
+        self, names: List[str], exprs: List[Expr]
+    ) -> List[str]:
+        """SQL allows duplicate output names (self-joins, ``id, id``); our
+        schemas do not, so later duplicates get qualified/suffixed names."""
+        out: List[str] = []
+        seen: Dict[str, int] = {}
+        for name, expr in zip(names, exprs):
+            candidate = name
+            if candidate in seen and isinstance(expr, ColumnRef):
+                candidate = expr.name  # try the qualified spelling
+            counter = 2
+            base = candidate
+            while candidate in seen:
+                candidate = f"{base}_{counter}"
+                counter += 1
+            seen[candidate] = 1
+            out.append(candidate)
+        return out
+
+    # -- aggregation ---------------------------------------------------------------------
+
+    def _aggregate(
+        self,
+        plan: LogicalPlan,
+        stmt: SelectStmt,
+        select_exprs: List[Expr],
+        having: Optional[Expr],
+        order_exprs: List[Expr],
+    ):
+        group_exprs = tuple(stmt.group_by)
+        group_names = tuple(_default_name(g) for g in group_exprs)
+        aggs: List[AggCall] = []
+        for e in select_exprs + ([having] if having is not None else []) + order_exprs:
+            _collect_aggs(e, aggs)
+        agg_op = LogicalAggregate(plan, group_exprs, group_names, tuple(aggs))
+
+        mapping = {g: n for g, n in zip(group_exprs, group_names)}
+        select_out = [
+            _rewrite_post_agg(e, mapping, group_exprs, group_names)
+            for e in select_exprs
+        ]
+        having_out = (
+            _rewrite_post_agg(having, mapping, group_exprs, group_names)
+            if having is not None
+            else None
+        )
+        order_out = []
+        for e in order_exprs:
+            try:
+                order_out.append(
+                    _rewrite_post_agg(e, mapping, group_exprs, group_names)
+                )
+            except BindError:
+                # May be a projection alias (ORDER BY total); resolved later
+                # against the SELECT list.
+                order_out.append(e)
+        return agg_op, select_out, having_out, order_out
+
+    # -- ORDER BY ------------------------------------------------------------------------
+
+    def _resolve_order_key(
+        self, expr: Expr, select_exprs: List[Expr], names: List[str]
+    ):
+        """Return an int (index into the projection) or an Expr to hide."""
+        if isinstance(expr, ColumnRef) and expr.name in names:
+            return names.index(expr.name)
+        for i, se in enumerate(select_exprs):
+            if se == expr:
+                return i
+        return expr
+
+
+def _default_name(expr: Expr) -> str:
+    if isinstance(expr, ColumnRef):
+        return expr.name.split(".")[-1]
+    return str(expr)
+
+
+def _collect_aggs(expr: Expr, out: List[AggCall]) -> None:
+    if isinstance(expr, AggCall):
+        if expr.arg is not None and contains_aggregate(expr.arg):
+            raise BindError(f"nested aggregate in {expr}")
+        if expr not in out:
+            out.append(expr)
+        return
+    for child in expr.children():
+        _collect_aggs(child, out)
+
+
+def _rewrite_post_agg(
+    expr: Expr,
+    group_map: Dict[Expr, str],
+    group_exprs: Tuple[Expr, ...],
+    group_names: Tuple[str, ...],
+) -> Expr:
+    """Rewrite a post-aggregation expression to reference the Aggregate's
+    output columns, validating that it uses only groups and aggregates."""
+    if isinstance(expr, AggCall):
+        return ColumnRef(str(expr))
+    if expr in group_map:
+        return ColumnRef(group_map[expr])
+    if isinstance(expr, ColumnRef):
+        # a bare column must match a group expr (possibly by bare name)
+        bare = expr.name.split(".")[-1]
+        for g, n in zip(group_exprs, group_names):
+            if isinstance(g, ColumnRef) and g.name.split(".")[-1] == bare:
+                return ColumnRef(n)
+        raise BindError(
+            f"column {expr.name} must appear in GROUP BY or an aggregate"
+        )
+    if isinstance(expr, Literal):
+        return expr
+    rewrite = lambda e: _rewrite_post_agg(e, group_map, group_exprs, group_names)
+    if isinstance(expr, Comparison):
+        return Comparison(expr.op, rewrite(expr.left), rewrite(expr.right))
+    if isinstance(expr, Arithmetic):
+        return Arithmetic(expr.op, rewrite(expr.left), rewrite(expr.right))
+    if isinstance(expr, BoolOp):
+        return BoolOp(expr.kind, tuple(rewrite(o) for o in expr.operands))
+    if isinstance(expr, Not):
+        return Not(rewrite(expr.operand))
+    if isinstance(expr, Negate):
+        return Negate(rewrite(expr.operand))
+    if isinstance(expr, IsNull):
+        return IsNull(rewrite(expr.operand), expr.negated)
+    if isinstance(expr, InList):
+        return InList(
+            rewrite(expr.operand), tuple(rewrite(i) for i in expr.items), expr.negated
+        )
+    if isinstance(expr, Like):
+        return Like(rewrite(expr.operand), expr.pattern, expr.negated)
+    if isinstance(expr, Between):
+        return Between(
+            rewrite(expr.operand), rewrite(expr.low), rewrite(expr.high), expr.negated
+        )
+    raise PlanError(f"cannot rewrite post-aggregation expression {expr!r}")

@@ -1,0 +1,283 @@
+"""Logical plan operators.
+
+A logical plan is a tree of relational operators with resolved schemas but
+no physical decisions (no access paths, join algorithms or orders).  The
+optimizer and baseline planners consume logical plans and emit physical
+plans (:mod:`repro.physical`).
+
+Operators: Get, Filter, Project, Join (inner/cross), Aggregate, Sort,
+Limit, Distinct.  Nodes are immutable; rewrites construct new trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..catalog import TableInfo
+from ..expr import AggCall, Expr
+from ..types import Column, DataType, Schema
+
+
+class PlanError(Exception):
+    """Raised when a plan is malformed."""
+
+
+class LogicalPlan:
+    """Base class.  ``schema`` is the operator's output schema."""
+
+    schema: Schema
+
+    def children(self) -> Tuple["LogicalPlan", ...]:
+        return ()
+
+    def label(self) -> str:
+        return type(self).__name__.replace("Logical", "")
+
+    def pretty(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.describe()]
+        for child in self.children():
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:  # pragma: no cover - overridden
+        return self.label()
+
+
+@dataclass(frozen=True, eq=False)
+class LogicalGet(LogicalPlan):
+    """Scan of a base table under a binding name (alias)."""
+
+    table: TableInfo
+    binding: str
+    schema: Schema = field(compare=False)
+
+    def __init__(self, table: TableInfo, binding: Optional[str] = None):
+        object.__setattr__(self, "table", table)
+        object.__setattr__(self, "binding", binding or table.name)
+        object.__setattr__(self, "schema", table.schema.renamed(self.binding))
+
+    def describe(self) -> str:
+        if self.binding != self.table.name:
+            return f"Get({self.table.name} AS {self.binding})"
+        return f"Get({self.table.name})"
+
+
+@dataclass(frozen=True, eq=False)
+class LogicalFilter(LogicalPlan):
+    child: LogicalPlan
+    predicate: Expr
+    schema: Schema = field(init=False, compare=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "schema", self.child.schema)
+
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate})"
+
+
+@dataclass(frozen=True, eq=False)
+class LogicalProject(LogicalPlan):
+    """Projection to computed expressions with output names."""
+
+    child: LogicalPlan
+    exprs: Tuple[Expr, ...]
+    names: Tuple[str, ...]
+    schema: Schema = field(compare=False)
+
+    def __init__(
+        self,
+        child: LogicalPlan,
+        exprs: Tuple[Expr, ...],
+        names: Tuple[str, ...],
+        dtypes: Optional[Tuple[DataType, ...]] = None,
+    ):
+        if len(exprs) != len(names):
+            raise PlanError("projection exprs/names length mismatch")
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "exprs", tuple(exprs))
+        object.__setattr__(self, "names", tuple(names))
+        if dtypes is None:
+            from ..expr import infer_expr_type
+
+            dtypes = tuple(
+                infer_expr_type(e, child.schema) for e in exprs
+            )
+        schema = Schema(
+            Column(name, dtype, None) for name, dtype in zip(names, dtypes)
+        )
+        object.__setattr__(self, "schema", schema)
+
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{e} AS {n}" if str(e) != n else str(e)
+            for e, n in zip(self.exprs, self.names)
+        )
+        return f"Project({parts})"
+
+
+@dataclass(frozen=True, eq=False)
+class LogicalJoin(LogicalPlan):
+    """Inner join; ``condition=None`` is a cross product."""
+
+    left: LogicalPlan
+    right: LogicalPlan
+    condition: Optional[Expr]
+    schema: Schema = field(init=False, compare=False)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "schema", self.left.schema.concat(self.right.schema)
+        )
+
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        if self.condition is None:
+            return "CrossJoin"
+        return f"Join({self.condition})"
+
+
+@dataclass(frozen=True, eq=False)
+class LogicalAggregate(LogicalPlan):
+    """Grouped aggregation.
+
+    Output schema: one column per group expression (named ``group_names``),
+    then one column per aggregate call (named ``str(agg)``).
+    """
+
+    child: LogicalPlan
+    group_exprs: Tuple[Expr, ...]
+    group_names: Tuple[str, ...]
+    aggs: Tuple[AggCall, ...]
+    schema: Schema = field(compare=False)
+
+    def __init__(
+        self,
+        child: LogicalPlan,
+        group_exprs: Tuple[Expr, ...],
+        group_names: Tuple[str, ...],
+        aggs: Tuple[AggCall, ...],
+    ):
+        from ..expr import AggFunc, infer_expr_type
+
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "group_exprs", tuple(group_exprs))
+        object.__setattr__(self, "group_names", tuple(group_names))
+        object.__setattr__(self, "aggs", tuple(aggs))
+        cols: List[Column] = []
+        for name, expr in zip(group_names, group_exprs):
+            cols.append(Column(name, infer_expr_type(expr, child.schema), None))
+        for agg in aggs:
+            if agg.func is AggFunc.COUNT:
+                dtype = DataType.INT
+            elif agg.func is AggFunc.AVG:
+                dtype = DataType.FLOAT
+            else:
+                dtype = infer_expr_type(agg.arg, child.schema)
+            cols.append(Column(str(agg), dtype, None))
+        object.__setattr__(self, "schema", Schema(cols))
+
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        groups = ", ".join(str(g) for g in self.group_exprs) or "()"
+        aggs = ", ".join(str(a) for a in self.aggs)
+        return f"Aggregate(by {groups}: {aggs})"
+
+
+@dataclass(frozen=True, eq=False)
+class LogicalNarrow(LogicalPlan):
+    """Column-subset projection that *preserves* column identity.
+
+    Unlike :class:`LogicalProject` (which computes expressions and outputs
+    unqualified columns), Narrow keeps a subset of the child's columns with
+    their qualifiers intact, so names keep resolving above it.  Inserted by
+    projection pruning.
+    """
+
+    child: LogicalPlan
+    positions: Tuple[int, ...]
+    schema: Schema = field(compare=False)
+
+    def __init__(self, child: LogicalPlan, positions: Tuple[int, ...]):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "positions", tuple(positions))
+        object.__setattr__(
+            self, "schema", Schema(child.schema[i] for i in positions)
+        )
+
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        names = ", ".join(c.qualified_name for c in self.schema)
+        return f"Narrow({names})"
+
+
+@dataclass(frozen=True, eq=False)
+class LogicalSort(LogicalPlan):
+    child: LogicalPlan
+    keys: Tuple[Tuple[Expr, bool], ...]  # (expr, ascending)
+    schema: Schema = field(init=False, compare=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "schema", self.child.schema)
+
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{e} {'ASC' if asc else 'DESC'}" for e, asc in self.keys
+        )
+        return f"Sort({keys})"
+
+
+@dataclass(frozen=True, eq=False)
+class LogicalLimit(LogicalPlan):
+    child: LogicalPlan
+    count: int
+    schema: Schema = field(init=False, compare=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "schema", self.child.schema)
+
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Limit({self.count})"
+
+
+@dataclass(frozen=True, eq=False)
+class LogicalDistinct(LogicalPlan):
+    child: LogicalPlan
+    schema: Schema = field(init=False, compare=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "schema", self.child.schema)
+
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return "Distinct"
+
+
+def leaves(plan: LogicalPlan) -> List[LogicalGet]:
+    """All base-table scans under *plan*, left to right."""
+    if isinstance(plan, LogicalGet):
+        return [plan]
+    out: List[LogicalGet] = []
+    for child in plan.children():
+        out.extend(leaves(child))
+    return out

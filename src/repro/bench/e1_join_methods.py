@@ -1,0 +1,195 @@
+"""E1 — Join-method cost matrix (Table 1).
+
+The foundational result: no join method dominates.  For pairs of relations
+of varying size, run every join method on the same equi-join and record
+actual page I/O (cold buffer pool) alongside the cost model's estimate.
+
+Expected shape (the classic one):
+
+* tuple nested loop is catastrophic except for tiny inners;
+* block nested loop is fine when one side fits in memory;
+* sort-merge and hash win at scale, hash usually cheapest when the build
+  side fits;
+* index nested loop wins when the outer is small relative to the inner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..engine import Database
+from ..expr import col, eq
+from ..optimizer import CostModel, pages_for
+from ..physical import (
+    PHashJoin,
+    PIndexNLJoin,
+    PNestedLoopJoin,
+    PSeqScan,
+    PSort,
+    PSortMergeJoin,
+)
+from ..workloads import Rng, shuffled_ints, uniform_floats, uniform_ints
+from .measure import fresh_db, measure_plan
+from .tables import ResultTable
+
+METHODS = ("tuple-NL", "block-NL", "sort-merge", "hash", "index-NL")
+
+
+def _load_pair(
+    db: Database, outer_rows: int, inner_rows: int, seed: int
+) -> None:
+    rng = Rng(seed)
+    db.execute("CREATE TABLE r (id INT, fk INT, pad FLOAT)")
+    db.insert_rows(
+        "r",
+        list(
+            zip(
+                shuffled_ints(rng.spawn(1), outer_rows),
+                uniform_ints(rng.spawn(2), outer_rows, 0, max(1, inner_rows) - 1),
+                uniform_floats(rng.spawn(3), outer_rows),
+            )
+        ),
+    )
+    db.execute("CREATE TABLE s (id INT, pad FLOAT)")
+    db.insert_rows(
+        "s",
+        list(
+            zip(
+                shuffled_ints(rng.spawn(4), inner_rows),
+                uniform_floats(rng.spawn(5), inner_rows),
+            )
+        ),
+    )
+    db.execute("CREATE INDEX ix_s_id ON s (id)")
+    db.analyze()
+
+
+def _build_method(db: Database, method: str):
+    r = db.table("r")
+    s = db.table("s")
+    left = PSeqScan(r, "r")
+    right = PSeqScan(s, "s")
+    model = db.model
+    lk, rk = col("r.fk"), col("s.id")
+
+    if method == "tuple-NL":
+        return PNestedLoopJoin(left, right, eq(lk, rk), block_pages=1)
+    if method == "block-NL":
+        return PNestedLoopJoin(
+            left, right, eq(lk, rk), block_pages=max(1, model.work_mem_pages - 2)
+        )
+    if method == "sort-merge":
+        return PSortMergeJoin(
+            PSort(left, ((lk, True),)),
+            PSort(right, ((rk, True),)),
+            lk,
+            rk,
+        )
+    if method == "hash":
+        return PHashJoin(left, right, lk, rk)
+    if method == "index-NL":
+        index = s.index_on("id")
+        return PIndexNLJoin(left, s, "s", index, lk)
+    raise ValueError(method)
+
+
+def _estimate(db: Database, method: str, outer_rows: int, inner_rows: int) -> float:
+    model = db.model
+    r = db.table("r")
+    s = db.table("s")
+    out_rows = float(outer_rows)  # FK join: one match per outer row
+    scan_l = model.seq_scan(r.num_pages, outer_rows)
+    scan_r = model.seq_scan(s.num_pages, inner_rows)
+    l_pages, r_pages = float(r.num_pages), float(s.num_pages)
+    if method == "tuple-NL":
+        return (
+            scan_l
+            + model.block_nested_loop(
+                l_pages, outer_rows, scan_r, inner_rows, block_pages=1
+            )
+        ).total
+    if method == "block-NL":
+        return (
+            scan_l
+            + model.block_nested_loop(l_pages, outer_rows, scan_r, inner_rows)
+        ).total
+    if method == "sort-merge":
+        return (
+            scan_l
+            + scan_r
+            + model.sort(l_pages, outer_rows)
+            + model.sort(r_pages, inner_rows)
+            + model.merge_join(outer_rows, inner_rows, out_rows)
+        ).total
+    if method == "hash":
+        return (
+            scan_l
+            + scan_r
+            + model.hash_join(l_pages, outer_rows, r_pages, inner_rows, out_rows)
+        ).total
+    if method == "index-NL":
+        index = s.index_on("id")
+        return (
+            scan_l
+            + model.index_nested_loop(
+                outer_rows, index, s.num_pages, inner_rows, 1.0
+            )
+        ).total
+    raise ValueError(method)
+
+
+def run(
+    sizes: Optional[List[Tuple[int, int]]] = None,
+    buffer_pages: int = 64,
+    work_mem_pages: int = 16,
+    seed: int = 101,
+    skip_tuple_nl_above: int = 200_000,
+) -> List[ResultTable]:
+    """Run the join-method matrix; returns [actual-I/O table, estimate table]."""
+    if sizes is None:
+        sizes = [(500, 500), (2000, 2000), (8000, 2000), (2000, 8000)]
+    actual = ResultTable(
+        "E1/Table 1 — join methods, actual page I/O (cold)",
+        ["outer", "inner"] + list(METHODS),
+        notes="outer joins inner on a foreign key; work_mem="
+        f"{work_mem_pages} pages",
+    )
+    estimated = ResultTable(
+        "E1/Table 1b — join methods, modeled cost",
+        ["outer", "inner"] + list(METHODS),
+    )
+    for outer_rows, inner_rows in sizes:
+        db = fresh_db(buffer_pages=buffer_pages, work_mem_pages=work_mem_pages)
+        _load_pair(db, outer_rows, inner_rows, seed)
+        act_row: List[object] = [outer_rows, inner_rows]
+        est_row: List[object] = [outer_rows, inner_rows]
+        for method in METHODS:
+            if (
+                method == "tuple-NL"
+                and outer_rows * inner_rows > skip_tuple_nl_above
+            ):
+                act_row.append(None)
+                est_row.append(_estimate(db, method, outer_rows, inner_rows))
+                continue
+            plan = _build_method(db, method)
+            m = measure_plan(db, plan)
+            act_row.append(m.actual_io)
+            est_row.append(_estimate(db, method, outer_rows, inner_rows))
+        actual.rows.append(act_row)
+        estimated.rows.append(est_row)
+    return [actual, estimated]
+
+
+def winner_per_row(table: ResultTable) -> Dict[Tuple[int, int], str]:
+    """The cheapest method per size pair (ignores skipped cells)."""
+    out: Dict[Tuple[int, int], str] = {}
+    for row in table.rows:
+        outer, inner = row[0], row[1]
+        best, best_v = None, None
+        for method, value in zip(METHODS, row[2:]):
+            if value is None:
+                continue
+            if best_v is None or value < best_v:
+                best, best_v = method, value
+        out[(outer, inner)] = best
+    return out

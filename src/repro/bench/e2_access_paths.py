@@ -1,0 +1,141 @@
+"""E2 — Access-path selection crossover (Table 2) and
+E3 — cost-model validation (Figure 1).
+
+One table, three ways to read it under a selectivity sweep:
+
+* sequential scan + filter,
+* clustered B+-tree range scan (on ``id``),
+* unclustered B+-tree range scan (on ``r``, random values).
+
+The classic result: the unclustered index loses to the sequential scan at
+surprisingly low selectivity (a few percent — Cardenas' formula says every
+fetched row is likely a new page), while the clustered index stays
+competitive to much higher selectivity.  E3 overlays the cost model's
+predicted I/O on the measured I/O to validate the model's *shape*.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..engine import Database
+from ..expr import col, lit, lt
+from ..physical import PIndexScan, PSeqScan, RangeBound
+from ..workloads import Rng, uniform_floats, uniform_ints
+from .measure import fresh_db, measure_plan
+from .tables import ResultTable
+
+PATHS = ("seq-scan", "clustered-index", "unclustered-index")
+
+
+def load_sweep_table(
+    db: Database, num_rows: int = 20000, seed: int = 17
+) -> None:
+    """Table with a clustered key ``id`` (loaded in order) and an
+    unclustered uniform column ``r`` over the same domain."""
+    rng = Rng(seed)
+    db.execute("CREATE TABLE sweep (id INT, r INT, pad FLOAT)")
+    rs = uniform_ints(rng.spawn(1), num_rows, 0, num_rows - 1)
+    pads = uniform_floats(rng.spawn(2), num_rows)
+    db.insert_rows(
+        "sweep", [(i, rs[i], pads[i]) for i in range(num_rows)]
+    )
+    db.execute("CREATE CLUSTERED INDEX ix_sweep_id ON sweep (id)")
+    db.execute("CREATE INDEX ix_sweep_r ON sweep (r)")
+    db.execute("ANALYZE sweep")
+
+
+def _path_plan(db: Database, path: str, cutoff: int):
+    info = db.table("sweep")
+    if path == "seq-scan":
+        return PSeqScan(info, "sweep", lt(col("sweep.id"), lit(cutoff)))
+    column = "id" if path == "clustered-index" else "r"
+    index = info.index_on(column)
+    return PIndexScan(
+        info,
+        "sweep",
+        index,
+        RangeBound.open(),
+        RangeBound.at(cutoff, False),
+    )
+
+
+def _path_estimate(db: Database, path: str, cutoff: int, num_rows: int) -> float:
+    info = db.table("sweep")
+    model = db.model
+    matching = float(cutoff)
+    if path == "seq-scan":
+        return model.seq_scan(info.num_pages, float(num_rows)).io
+    column = "id" if path == "clustered-index" else "r"
+    index = info.index_on(column)
+    return model.index_scan(
+        index, info.num_pages, float(num_rows), matching
+    ).io
+
+
+def run(
+    num_rows: int = 20000,
+    fractions: Optional[List[float]] = None,
+    buffer_pages: int = 48,
+    seed: int = 17,
+) -> List[ResultTable]:
+    """Returns [E2 table (actual I/O + planner pick), E3 table (est vs act)]."""
+    if fractions is None:
+        fractions = [0.0005, 0.002, 0.01, 0.05, 0.2, 0.5, 1.0]
+    db = fresh_db(buffer_pages=buffer_pages, work_mem_pages=8)
+    load_sweep_table(db, num_rows, seed)
+
+    actual = ResultTable(
+        "E2/Table 2 — access paths, actual page reads (cold)",
+        ["selectivity", "rows"] + list(PATHS) + ["planner picks"],
+        notes=f"table: {num_rows} rows, {db.table('sweep').num_pages} pages",
+    )
+    validation = ResultTable(
+        "E3/Figure 1 — cost model I/O estimate vs actual reads",
+        [
+            "selectivity",
+            "seq est", "seq act",
+            "clustered est", "clustered act",
+            "unclustered est", "unclustered act",
+        ],
+    )
+    for fraction in fractions:
+        cutoff = max(1, int(num_rows * fraction))
+        act_row: List[object] = [fraction, cutoff]
+        val_row: List[object] = [fraction]
+        measured = {}
+        for path in PATHS:
+            plan = _path_plan(db, path, cutoff)
+            m = measure_plan(db, plan)
+            measured[path] = m.actual_reads
+            act_row.append(m.actual_reads)
+        # what would the cost-based planner pick? (clustered id predicate)
+        pick = db.plan(f"SELECT * FROM sweep WHERE id < {cutoff}")
+        picked = _scan_kind(pick)
+        act_row.append(picked)
+        actual.rows.append(act_row)
+        for path in PATHS:
+            val_row.append(_path_estimate(db, path, cutoff, num_rows))
+            val_row.append(measured[path])
+        validation.rows.append(val_row)
+    return [actual, validation]
+
+
+def _scan_kind(plan) -> str:
+    from ..physical import walk_plan
+
+    for node in walk_plan(plan):
+        name = type(node).__name__
+        if name in ("PSeqScan", "PIndexScan", "PIndexOnlyScan"):
+            return name[1:]
+    return type(plan).__name__
+
+
+def crossover_fraction(table: ResultTable, path: str) -> Optional[float]:
+    """First selectivity at which *path* becomes worse than the seq scan."""
+    idx_path = table.columns.index(path)
+    idx_seq = table.columns.index("seq-scan")
+    for row in table.rows:
+        if row[idx_path] > row[idx_seq]:
+            return row[0]
+    return None

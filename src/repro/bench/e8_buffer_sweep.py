@@ -1,0 +1,105 @@
+"""E8 — Buffer-size sensitivity (Figure 3).
+
+The same two-table join executed with every join method while the buffer
+pool grows from a few pages to table-sized.  Classic shape:
+
+* block nested loop improves steeply with memory (bigger blocks → fewer
+  inner rescans) until the inner fits, then flatlines;
+* hash join is flat once the build side fits work memory, paying only the
+  two input scans;
+* sort-merge steps down as sort runs lengthen (fewer spill passes);
+* index nested loop is hostage to cache hit rate on index+heap pages.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..engine import Database
+from ..expr import col, eq
+from ..physical import (
+    PHashJoin,
+    PIndexNLJoin,
+    PNestedLoopJoin,
+    PSeqScan,
+    PSort,
+    PSortMergeJoin,
+)
+from ..storage import Replacement
+from ..workloads import Rng, shuffled_ints, uniform_floats, uniform_ints
+from .measure import fresh_db, measure_plan
+from .tables import ResultTable
+
+METHODS = ("block-NL", "sort-merge", "hash", "index-NL")
+
+
+def _load(db: Database, outer_rows: int, inner_rows: int, seed: int) -> None:
+    rng = Rng(seed)
+    db.execute("CREATE TABLE r (id INT, fk INT, pad FLOAT)")
+    db.insert_rows(
+        "r",
+        list(
+            zip(
+                shuffled_ints(rng.spawn(1), outer_rows),
+                uniform_ints(rng.spawn(2), outer_rows, 0, inner_rows - 1),
+                uniform_floats(rng.spawn(3), outer_rows),
+            )
+        ),
+    )
+    db.execute("CREATE TABLE s (id INT, pad FLOAT)")
+    db.insert_rows(
+        "s",
+        list(
+            zip(
+                shuffled_ints(rng.spawn(4), inner_rows),
+                uniform_floats(rng.spawn(5), inner_rows),
+            )
+        ),
+    )
+    db.execute("CREATE INDEX ix_s_id ON s (id)")
+    db.analyze()
+
+
+def _method_plan(db: Database, method: str):
+    r, s = db.table("r"), db.table("s")
+    left, right = PSeqScan(r, "r"), PSeqScan(s, "s")
+    lk, rk = col("r.fk"), col("s.id")
+    if method == "block-NL":
+        return PNestedLoopJoin(
+            left, right, eq(lk, rk),
+            block_pages=max(1, db.work_mem_pages - 2),
+        )
+    if method == "sort-merge":
+        return PSortMergeJoin(
+            PSort(left, ((lk, True),)), PSort(right, ((rk, True),)), lk, rk
+        )
+    if method == "hash":
+        return PHashJoin(left, right, lk, rk)
+    if method == "index-NL":
+        return PIndexNLJoin(left, s, "s", s.index_on("id"), lk)
+    raise ValueError(method)
+
+
+def run(
+    outer_rows: int = 6000,
+    inner_rows: int = 6000,
+    buffer_sizes: Optional[List[int]] = None,
+    seed: int = 37,
+) -> List[ResultTable]:
+    buffer_sizes = buffer_sizes or [8, 16, 32, 64, 128]
+    table = ResultTable(
+        "E8/Figure 3 — actual join I/O vs buffer pool size",
+        ["buffer pages", "work_mem pages"] + list(METHODS),
+        notes=f"{outer_rows} ⋈ {inner_rows} rows; work_mem = buffer/2",
+    )
+    for buffer_pages in buffer_sizes:
+        work_mem = max(3, buffer_pages // 2)
+        db = fresh_db(buffer_pages=buffer_pages, work_mem_pages=work_mem)
+        _load(db, outer_rows, inner_rows, seed)
+        row: List[object] = [buffer_pages, work_mem]
+        for method in METHODS:
+            plan = _method_plan(db, method)
+            m = measure_plan(db, plan)
+            row.append(m.actual_io)
+        table.rows.append(row)
+    return [table]

@@ -1,0 +1,140 @@
+"""ASCII line charts for the experiments that are *figures* in the paper
+sense (E3 cost validation, E5 planning growth, E8 buffer sweep).
+
+Pure-text rendering so EXPERIMENTS.md and bench output stay self-contained:
+
+::
+
+    I/O (log)
+    1000 |                         D
+         |              D
+     100 |    D    C         C    C
+         |  A B  A B  A B  A B  A B
+      10 +--------------------------
+           8    16   32   64   128   buffer pages
+    A=block-NL  B=hash  C=sort-merge  D=index-NL
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+MARKERS = "ABCDEFGHJKLMNP"
+
+
+def _nice_label(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 10:
+        return f"{value:.0f}"
+    return f"{value:.2g}"
+
+
+def line_chart(
+    title: str,
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[Optional[float]]],
+    width: int = 64,
+    height: int = 14,
+    log_y: bool = False,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render multiple series as a scatter-line ASCII chart.
+
+    ``None`` values are skipped (e.g. exhaustive beyond its cutoff).
+    ``log_y=True`` puts the y axis on a log10 scale — planning-time and
+    I/O curves span orders of magnitude.
+    """
+    if not x_values:
+        raise ValueError("need at least one x value")
+    points: List[float] = [
+        v
+        for values in series.values()
+        for v in values
+        if v is not None
+    ]
+    if not points:
+        raise ValueError("no data")
+
+    def ty(v: float) -> float:
+        if log_y:
+            return math.log10(max(v, 1e-9))
+        return v
+
+    y_min = min(ty(v) for v in points)
+    y_max = max(ty(v) for v in points)
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x_values), max(x_values)
+    if x_max <= x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, values), marker in zip(series.items(), MARKERS):
+        for x, v in zip(x_values, values):
+            if v is None:
+                continue
+            cx = round((x - x_min) / (x_max - x_min) * (width - 1))
+            cy = round((ty(v) - y_min) / (y_max - y_min) * (height - 1))
+            row = height - 1 - cy
+            cell = grid[row][cx]
+            grid[row][cx] = "*" if cell not in (" ", marker) else marker
+
+    def y_at(row: int) -> float:
+        frac = (height - 1 - row) / (height - 1)
+        value = y_min + frac * (y_max - y_min)
+        return 10 ** value if log_y else value
+
+    lines = [title + (f"   [y: {y_label}{', log scale' if log_y else ''}]" if y_label or log_y else "")]
+    label_width = max(
+        len(_nice_label(y_at(r))) for r in (0, height // 2, height - 1)
+    )
+    for row in range(height):
+        if row in (0, height // 2, height - 1):
+            label = _nice_label(y_at(row)).rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |" + "".join(grid[row]))
+    lines.append(" " * label_width + " +" + "-" * width)
+    # x tick labels at min / mid / max
+    ticks = [x_min, (x_min + x_max) / 2, x_max]
+    tick_line = [" "] * (width + label_width + 12)
+    for tick in ticks:
+        pos = label_width + 2 + round(
+            (tick - x_min) / (x_max - x_min) * (width - 1)
+        )
+        text = _nice_label(tick)
+        for i, ch in enumerate(text):
+            if pos + i < len(tick_line):
+                tick_line[pos + i] = ch
+    lines.append(
+        "".join(tick_line).rstrip() + (f"   {x_label}" if x_label else "")
+    )
+    legend = "  ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), MARKERS)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def chart_from_table(
+    table,
+    x_column: str,
+    series_columns: Sequence[str],
+    title: Optional[str] = None,
+    **kwargs,
+) -> str:
+    """Build a chart straight from a :class:`ResultTable`."""
+    xs = [float(v) for v in table.column_values(x_column)]
+    series = {
+        name: [
+            float(v) if v is not None else None
+            for v in table.column_values(name)
+        ]
+        for name in series_columns
+    }
+    return line_chart(title or table.title, xs, series, **kwargs)

@@ -1,0 +1,262 @@
+"""The catalog: tables, indexes, and their statistics.
+
+The catalog is the optimizer's entire view of the database.  Everything the
+cost model and estimator consume — row counts, page counts, index heights,
+clusteredness, histograms — lives here, refreshed by :meth:`Catalog.analyze`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..index import BPlusTree, HashIndex
+from ..storage import BufferPool, HeapFile
+from ..types import Column, DataType, Schema
+from .stats import ColumnStats, HistogramKind, TableStats, analyze_column
+
+
+class CatalogError(Exception):
+    """Raised for unknown/duplicate tables or indexes."""
+
+
+class IndexKind(enum.Enum):
+    BTREE = "btree"
+    HASH = "hash"
+
+
+@dataclass
+class IndexInfo:
+    """Metadata + structure for one index.
+
+    ``columns`` is the ordered key column list (bare names); single-column
+    indexes store scalar keys, composite indexes store tuples.  ``column``
+    remains the *leading* column — the one that determines sort order and
+    sargability of the first key part.
+    """
+
+    name: str
+    table: str
+    column: str  # leading bare column name
+    kind: IndexKind
+    clustered: bool
+    structure: Any  # BPlusTree | HashIndex
+    #: pages occupied by leaf level (btree) or buckets (hash); set by ANALYZE
+    leaf_pages: int = 0
+    columns: Sequence[str] = ()
+
+    def __post_init__(self):
+        if not self.columns:
+            self.columns = (self.column,)
+        self.columns = tuple(self.columns)
+
+    @property
+    def is_composite(self) -> bool:
+        return len(self.columns) > 1
+
+    @property
+    def height(self) -> int:
+        if self.kind is IndexKind.BTREE:
+            return self.structure.height
+        return 1
+
+    @property
+    def supports_range(self) -> bool:
+        return self.kind is IndexKind.BTREE
+
+
+@dataclass
+class TableInfo:
+    """Metadata + storage for one table."""
+
+    name: str
+    schema: Schema
+    heap: HeapFile
+    indexes: Dict[str, IndexInfo] = field(default_factory=dict)  # by column
+    stats: Optional[TableStats] = None
+
+    @property
+    def num_rows(self) -> int:
+        return self.heap.num_rows
+
+    @property
+    def num_pages(self) -> int:
+        return self.heap.num_pages
+
+    def index_on(self, column: str) -> Optional[IndexInfo]:
+        return self.indexes.get(column)
+
+    def column_stats(self, column: str) -> Optional[ColumnStats]:
+        if self.stats is None:
+            return None
+        return self.stats.column(column)
+
+
+class Catalog:
+    """All tables and indexes of one database instance."""
+
+    def __init__(self, pool: BufferPool):
+        self.pool = pool
+        self._tables: Dict[str, TableInfo] = {}
+
+    # -- tables ----------------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema) -> TableInfo:
+        key = name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        qualified = schema.renamed(name) if any(
+            c.table != name for c in schema
+        ) else schema
+        heap = HeapFile(self.pool, qualified, name)
+        info = TableInfo(name, qualified, heap)
+        self._tables[key] = info
+        return info
+
+    def drop_table(self, name: str) -> None:
+        info = self.table(name)
+        self.pool.discard_file(info.heap.file_id)
+        self.pool.disk.drop_file(info.heap.file_id)
+        for index in info.indexes.values():
+            self.pool.discard_file(index.structure.file_id)
+            self.pool.disk.drop_file(index.structure.file_id)
+        del self._tables[name.lower()]
+
+    def table(self, name: str) -> TableInfo:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no such table: {name}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> List[TableInfo]:
+        return list(self._tables.values())
+
+    # -- rows ---------------------------------------------------------------------
+
+    def insert_rows(self, name: str, rows: Sequence[Sequence[Any]]) -> int:
+        """Insert rows, maintaining every index on the table."""
+        info = self.table(name)
+        count = 0
+        for row in rows:
+            rid = info.heap.insert(row)
+            if info.indexes:
+                stored = info.heap.fetch(rid)
+                for index in info.indexes.values():
+                    positions = [
+                        info.schema.index_of(c) for c in index.columns
+                    ]
+                    value = self._index_key(stored, positions)
+                    if value is None and index.kind is IndexKind.HASH:
+                        continue  # hash indexes do not store NULLs
+                    index.structure.insert(value, rid)
+            count += 1
+        return count
+
+    # -- indexes ---------------------------------------------------------------------
+
+    def create_index(
+        self,
+        index_name: str,
+        table: str,
+        column,
+        kind: IndexKind = IndexKind.BTREE,
+        clustered: bool = False,
+    ) -> IndexInfo:
+        """Build an index over existing rows.
+
+        *column* is one bare column name or an ordered list of names (a
+        composite B+-tree key; hash indexes are single-column).
+        ``clustered=True`` records that the heap is physically ordered by
+        the leading column; the cost model prices clustered range scans as
+        sequential page runs.  One index per *leading* column, and one
+        clustered index per table.
+        """
+        info = self.table(table)
+        columns: List[str] = (
+            [column] if isinstance(column, str) else list(column)
+        )
+        if not columns:
+            raise CatalogError("index needs at least one column")
+        leading = columns[0]
+        cols: List[Column] = [info.schema.column(c) for c in columns]
+        if leading in info.indexes:
+            raise CatalogError(f"index already exists on {table}.{leading}")
+        if clustered and any(ix.clustered for ix in info.indexes.values()):
+            raise CatalogError(f"table {table} already has a clustered index")
+        if kind is IndexKind.HASH and len(columns) > 1:
+            raise CatalogError("hash indexes are single-column")
+        if kind is IndexKind.BTREE:
+            dtype = (
+                cols[0].dtype
+                if len(cols) == 1
+                else tuple(c.dtype for c in cols)
+            )
+            structure: Any = BPlusTree(self.pool, dtype, index_name)
+        else:
+            buckets = max(16, info.num_pages * 2)
+            structure = HashIndex(self.pool, cols[0].dtype, index_name, buckets)
+        positions = [info.schema.index_of(c) for c in columns]
+        for rid, row in info.heap.scan():
+            value = self._index_key(row, positions)
+            if value is None and kind is IndexKind.HASH:
+                continue
+            structure.insert(value, rid)
+        index = IndexInfo(
+            index_name, info.name, leading, kind, clustered, structure,
+            columns=tuple(columns),
+        )
+        index.leaf_pages = self._measure_leaf_pages(index)
+        info.indexes[leading] = index
+        return index
+
+    @staticmethod
+    def _index_key(row: Sequence[Any], positions: Sequence[int]) -> Any:
+        if len(positions) == 1:
+            return row[positions[0]]
+        return tuple(row[p] for p in positions)
+
+    def _measure_leaf_pages(self, index: IndexInfo) -> int:
+        if index.kind is IndexKind.BTREE:
+            if index.structure.num_entries == 0:
+                return 1
+            return index.structure.num_leaf_pages()
+        return index.structure.num_pages
+
+    # -- statistics ----------------------------------------------------------------------
+
+    def analyze(
+        self,
+        name: str,
+        histogram: HistogramKind = HistogramKind.EQUI_DEPTH,
+        num_buckets: int = 32,
+        num_mcvs: int = 8,
+    ) -> TableStats:
+        """Scan a table once and compute statistics for every column."""
+        info = self.table(name)
+        columns: Dict[str, List[Any]] = {c.name: [] for c in info.schema}
+        num_rows = 0
+        for row in info.heap.scan_rows():
+            num_rows += 1
+            for c, v in zip(info.schema, row):
+                columns[c.name].append(v)
+        stats = TableStats(num_rows=num_rows, num_pages=info.num_pages)
+        for c in info.schema:
+            stats.columns[c.name] = analyze_column(
+                c.dtype,
+                columns[c.name],
+                histogram=histogram,
+                num_buckets=num_buckets,
+                num_mcvs=num_mcvs,
+            )
+        info.stats = stats
+        for index in info.indexes.values():
+            index.leaf_pages = self._measure_leaf_pages(index)
+        return stats
+
+    def analyze_all(self, **kwargs: Any) -> None:
+        for info in self.tables():
+            self.analyze(info.name, **kwargs)

@@ -1,0 +1,5 @@
+"""Engine facade: the Database class."""
+
+from .database import Database, EngineError, QueryResult
+
+__all__ = ["Database", "EngineError", "QueryResult"]

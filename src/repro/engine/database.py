@@ -1,0 +1,676 @@
+"""The `Database` facade: the library's main public entry point.
+
+::
+
+    from repro import Database
+
+    db = Database(buffer_pages=128, work_mem_pages=32)
+    db.execute("CREATE TABLE t (id INT, name TEXT)")
+    db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+    db.execute("CREATE INDEX ix ON t (id)")
+    db.execute("ANALYZE t")
+    result = db.query("SELECT name FROM t WHERE id = 2")
+    print(result.rows)            # [('b',)]
+    print(db.explain("SELECT ...")) # the physical plan with estimates
+
+Ties together catalog, SQL front-end, rewriter, optimizer and executor,
+and exposes the per-query metrics the benchmark harness consumes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..algebra import build_plan, prune_columns
+from ..catalog import Catalog, HistogramKind, IndexKind, TableInfo
+from ..executor import ExecContext, ExecMetrics, run
+from ..expr import Literal
+from ..optimizer import CostModel, Planner, PlannerOptions, PlannerStats
+from ..physical import PhysicalPlan
+from ..sql import (
+    AnalyzeStmt,
+    CreateIndexStmt,
+    CreateTableStmt,
+    CreateViewStmt,
+    DeleteStmt,
+    DropTableStmt,
+    DropViewStmt,
+    ExplainStmt,
+    InsertStmt,
+    SelectStmt,
+    UpdateStmt,
+    parse,
+)
+from .views import Expansion, ViewDef, ViewError, ViewExpander
+from ..storage import BufferPool, DiskManager, IOStats, Replacement
+from ..types import Column, Schema
+
+
+class EngineError(Exception):
+    """Raised for statements the engine cannot execute."""
+
+
+@dataclass
+class QueryResult:
+    """Rows plus everything the experiments need to know about the run."""
+
+    rows: List[Tuple[Any, ...]]
+    columns: List[str]
+    plan: Optional[PhysicalPlan] = None
+    io: Optional[IOStats] = None
+    exec_metrics: Optional[ExecMetrics] = None
+    planner_stats: Optional[PlannerStats] = None
+    planning_seconds: float = 0.0
+    execution_seconds: float = 0.0
+
+    @property
+    def rowcount(self) -> int:
+        return len(self.rows)
+
+    def as_dicts(self) -> List[dict]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+class Database:
+    """An in-process relational database with a cost-based optimizer."""
+
+    def __init__(
+        self,
+        buffer_pages: int = 256,
+        work_mem_pages: int = 32,
+        page_size: int = 4096,
+        replacement: Replacement = Replacement.LRU,
+        options: Optional[PlannerOptions] = None,
+    ):
+        self.disk = DiskManager(page_size)
+        self.pool = BufferPool(self.disk, buffer_pages, replacement)
+        self.catalog = Catalog(self.pool)
+        self.work_mem_pages = work_mem_pages
+        self.options = options or PlannerOptions()
+        self.model = CostModel(
+            work_mem_pages=work_mem_pages, buffer_pages=buffer_pages
+        )
+        self.views: Dict[str, ViewDef] = {}
+        self._live_transients: List[str] = []
+
+    # -- statement dispatch ------------------------------------------------------------
+
+    def execute(self, sql: str) -> QueryResult:
+        """Parse and run one statement of any kind."""
+        stmt = parse(sql)
+        if isinstance(stmt, SelectStmt):
+            return self._select(stmt)
+        if isinstance(stmt, ExplainStmt):
+            if stmt.analyze:
+                result = self._select(stmt.inner)
+                text = result.plan.pretty(actuals=True)
+                text += (
+                    f"\nexecution: {result.execution_seconds * 1000:.1f} ms, "
+                    f"{result.io.reads} reads / {result.io.writes} writes, "
+                    f"{result.rowcount} rows"
+                )
+            else:
+                text = self.explain_stmt(stmt.inner)
+            return QueryResult(
+                rows=[(line,) for line in text.splitlines()],
+                columns=["plan"],
+            )
+        if isinstance(stmt, CreateTableStmt):
+            schema = Schema(
+                Column(c.name, c.dtype, stmt.table, c.nullable)
+                for c in stmt.columns
+            )
+            self.catalog.create_table(stmt.table, schema)
+            for c in stmt.columns:
+                if c.primary_key:
+                    self.catalog.create_index(
+                        f"pk_{stmt.table}_{c.name}",
+                        stmt.table,
+                        c.name,
+                        IndexKind.BTREE,
+                        clustered=True,
+                    )
+            return QueryResult(rows=[], columns=[])
+        if isinstance(stmt, CreateIndexStmt):
+            kind = IndexKind.BTREE if stmt.using == "btree" else IndexKind.HASH
+            self.catalog.create_index(
+                stmt.name, stmt.table, stmt.column, kind, stmt.clustered
+            )
+            return QueryResult(rows=[], columns=[])
+        if isinstance(stmt, DropTableStmt):
+            self.catalog.drop_table(stmt.table)
+            return QueryResult(rows=[], columns=[])
+        if isinstance(stmt, InsertStmt):
+            self._insert(stmt)
+            return QueryResult(rows=[], columns=[])
+        if isinstance(stmt, CreateViewStmt):
+            key = stmt.name.lower()
+            if self.catalog.has_table(stmt.name) or key in self.views:
+                raise EngineError(f"name {stmt.name!r} already in use")
+            self.views[key] = ViewDef(stmt.name, stmt.select, sql)
+            return QueryResult(rows=[], columns=[])
+        if isinstance(stmt, DropViewStmt):
+            if stmt.name.lower() not in self.views:
+                raise EngineError(f"no such view: {stmt.name}")
+            del self.views[stmt.name.lower()]
+            return QueryResult(rows=[], columns=[])
+        if isinstance(stmt, DeleteStmt):
+            count = self._delete(stmt)
+            return QueryResult(rows=[(count,)], columns=["deleted"])
+        if isinstance(stmt, UpdateStmt):
+            count = self._update(stmt)
+            return QueryResult(rows=[(count,)], columns=["updated"])
+        if isinstance(stmt, AnalyzeStmt):
+            if stmt.table is None:
+                self.catalog.analyze_all()
+            else:
+                self.catalog.analyze(stmt.table)
+            return QueryResult(rows=[], columns=[])
+        raise EngineError(f"unsupported statement {type(stmt).__name__}")
+
+    def query(self, sql: str) -> QueryResult:
+        """Run a SELECT and return rows + metrics."""
+        stmt = parse(sql)
+        if not isinstance(stmt, SelectStmt):
+            raise EngineError("query() expects a SELECT; use execute()")
+        return self._select(stmt)
+
+    # -- planning ---------------------------------------------------------------------------
+
+    def plan_select(self, stmt: SelectStmt) -> Tuple[PhysicalPlan, PlannerStats]:
+        """Plan a SELECT.  Views referenced by *stmt* are expanded here; a
+        non-mergeable view is materialized into a transient table that
+        lives until the query that created it finishes (``_select`` drops
+        it; direct ``plan()`` callers on such queries own the cleanup via
+        :meth:`drop_transients`)."""
+        expansion = self._expand_views(stmt)
+        self._live_transients.extend(expansion.transient_tables)
+        stmt = self._decompose_subqueries(expansion.stmt)
+        logical = build_plan(stmt, self.catalog)
+        planner = Planner(self.catalog, self.model, self.options)
+        physical = planner.plan_logical(logical)
+        return physical, planner.last_stats or PlannerStats()
+
+    # -- views -------------------------------------------------------------------------
+
+    _live_transients: List[str]
+
+    def _expand_views(self, stmt: SelectStmt) -> Expansion:
+        if not self.views:
+            return Expansion(stmt)
+        expander = ViewExpander(
+            views=self.views,
+            is_table=self.catalog.has_table,
+            materialize=self._materialize_view,
+            table_columns=self._table_columns,
+            view_output_names=lambda s: [],
+        )
+        return expander.expand(stmt)
+
+    def _table_columns(self, table: str) -> List[str]:
+        if self.catalog.has_table(table):
+            return self.catalog.table(table).schema.names()
+        view = self.views.get(table.lower())
+        if view is None:
+            return []
+        # output names of a view: derived from its select list
+        names: List[str] = []
+        for item in view.select.items:
+            if item.is_star:
+                for ref in list(view.select.from_tables) + [
+                    j.table for j in view.select.joins
+                ]:
+                    for column in self._table_columns(ref.table):
+                        if column not in names:
+                            names.append(column)
+                continue
+            if item.alias:
+                names.append(item.alias)
+            else:
+                from ..expr import ColumnRef
+
+                if isinstance(item.expr, ColumnRef):
+                    names.append(item.expr.name.split(".")[-1])
+                else:
+                    names.append(str(item.expr))
+        return names
+
+    def _materialize_view(self, inner: SelectStmt, table_name: str) -> str:
+        result = self._select(inner)
+        schema = Schema(
+            Column(column.name, column.dtype, table_name, True)
+            for column in result.plan.schema
+        )
+        self.catalog.create_table(table_name, schema)
+        self.catalog.insert_rows(table_name, result.rows)
+        self.catalog.analyze(table_name)
+        return table_name
+
+    def drop_transients(self) -> None:
+        """Drop transient tables left over from planning view queries."""
+        for name in self._live_transients:
+            if self.catalog.has_table(name):
+                self.catalog.drop_table(name)
+        self._live_transients = []
+
+    # -- subquery decomposition (INGRES-style) ----------------------------------------
+
+    def _decompose_subqueries(self, stmt: SelectStmt) -> SelectStmt:
+        """Replace uncorrelated subquery predicates with their results.
+
+        The classic decomposition strategy: run each independent inner
+        query first, substitute its answer as literals, then optimize the
+        (now subquery-free) outer query.  Correlated subqueries are
+        rejected (the inner query must plan standalone).
+        """
+        from dataclasses import replace as dc_replace
+
+        from ..expr import Expr, SubqueryExpr, contains_subquery, map_expr
+
+        def rewrite(expr: Optional[Expr]) -> Optional[Expr]:
+            if expr is None or not contains_subquery(expr):
+                return expr
+            return map_expr(expr, self._substitute_subquery)
+
+        stmt = self._decorrelate(stmt)
+        changed = False
+        where = rewrite(stmt.where)
+        having = rewrite(stmt.having)
+        joins = []
+        for join in stmt.joins:
+            condition = rewrite(join.condition)
+            if condition is not join.condition:
+                changed = True
+                join = dc_replace(join, condition=condition)
+            joins.append(join)
+        if where is stmt.where and having is stmt.having and not changed:
+            return stmt
+        out = SelectStmt(
+            items=stmt.items,
+            from_tables=stmt.from_tables,
+            joins=joins,
+            where=where,
+            group_by=stmt.group_by,
+            having=having,
+            order_by=stmt.order_by,
+            limit=stmt.limit,
+            distinct=stmt.distinct,
+        )
+        return out
+
+    # -- correlated subqueries: semi-join decorrelation -------------------------------
+
+    def _decorrelate(self, stmt: SelectStmt) -> SelectStmt:
+        """Rewrite correlated ``IN``/``EXISTS`` conjuncts as semi-joins.
+
+        The classic decorrelation: a top-level-conjunct subquery whose only
+        references to the outer query are equality links becomes a join
+        against the DISTINCT projection of the inner query over its link
+        (and output) columns.  The inner query is materialized into a
+        transient table first (decomposition), so the optimizer then sees a
+        plain join.
+
+        Unsupported shapes (negated forms, non-equality correlation,
+        correlated aggregates, subqueries under OR) are left alone and fail
+        later with a clear error if genuinely correlated.
+        """
+        from ..expr import (
+            ColumnRef,
+            SubqueryExpr,
+            and_,
+            eq,
+            split_conjuncts,
+        )
+        from ..sql.ast import TableRef
+
+        if stmt.where is None:
+            return stmt
+        conjuncts = split_conjuncts(stmt.where)
+        if not any(isinstance(c, SubqueryExpr) for c in conjuncts):
+            return stmt
+
+        outer_bindings = {
+            ref.binding: ref.table
+            for ref in list(stmt.from_tables) + [j.table for j in stmt.joins]
+        }
+        out_conjuncts: List[Any] = []
+        extra_tables: List[TableRef] = []
+        changed = False
+        for conjunct in conjuncts:
+            replacement = None
+            if (
+                isinstance(conjunct, SubqueryExpr)
+                and not conjunct.negated
+                and conjunct.kind in ("in", "exists")
+            ):
+                replacement = self._decorrelate_one(
+                    conjunct, outer_bindings, extra_tables,
+                    len(extra_tables),
+                )
+            if replacement is None:
+                out_conjuncts.append(conjunct)
+            else:
+                out_conjuncts.extend(replacement)
+                changed = True
+        if not changed:
+            return stmt
+        from ..expr import conjoin
+
+        return SelectStmt(
+            items=stmt.items,
+            from_tables=list(stmt.from_tables) + extra_tables,
+            joins=stmt.joins,
+            where=conjoin(out_conjuncts),
+            group_by=stmt.group_by,
+            having=stmt.having,
+            order_by=stmt.order_by,
+            limit=stmt.limit,
+            distinct=stmt.distinct,
+        )
+
+    def _decorrelate_one(
+        self,
+        sub,
+        outer_bindings: Dict[str, str],
+        extra_tables: List[Any],
+        counter: int,
+    ) -> Optional[List[Any]]:
+        """Try to turn one correlated subquery conjunct into join conjuncts
+        plus a transient FROM entry.  Returns None when not applicable
+        (including the uncorrelated case, which the literal-substitution
+        path handles better)."""
+        from ..expr import (
+            ColEqCol,
+            ColumnRef,
+            classify_conjunct,
+            conjoin,
+            eq,
+            referenced_columns,
+            split_conjuncts,
+        )
+        from ..sql.ast import SelectItem, TableRef
+
+        inner: SelectStmt = sub.payload
+        if (
+            inner.group_by
+            or inner.having is not None
+            or inner.order_by
+            or inner.limit is not None
+        ):
+            return None
+        if sub.kind == "in" and len(inner.items) != 1:
+            return None
+        inner_refs = list(inner.from_tables) + [j.table for j in inner.joins]
+        inner_columns: Dict[str, int] = {}
+        for ref in inner_refs:
+            for column in self._table_columns(ref.table):
+                inner_columns[column] = inner_columns.get(column, 0) + 1
+        inner_bindings = {ref.binding for ref in inner_refs}
+
+        def side_of(name: str) -> Optional[str]:
+            if "." in name:
+                qualifier = name.split(".", 1)[0]
+                if qualifier in inner_bindings:
+                    return "inner"
+                if qualifier in outer_bindings:
+                    return "outer"
+                return None
+            if inner_columns.get(name, 0) == 1:
+                return "inner"
+            if inner_columns.get(name, 0) > 1:
+                return None  # ambiguous inside the subquery
+            for table in outer_bindings.values():
+                if name in self._table_columns(table):
+                    return "outer"
+            return None
+
+        pure_inner: List[Any] = []
+        links: List[Any] = []  # (inner ColumnRef, outer ColumnRef)
+        for conjunct in split_conjuncts(inner.where):
+            refs = referenced_columns(conjunct)
+            sides = {side_of(name) for name in refs}
+            if None in sides:
+                return None
+            if sides <= {"inner"}:
+                pure_inner.append(conjunct)
+                continue
+            classified = classify_conjunct(conjunct)
+            if not isinstance(classified, ColEqCol):
+                return None  # non-equality correlation: bail
+            left_side = side_of(classified.left)
+            right_side = side_of(classified.right)
+            if {left_side, right_side} != {"inner", "outer"}:
+                return None
+            inner_name, outer_name = (
+                (classified.left, classified.right)
+                if left_side == "inner"
+                else (classified.right, classified.left)
+            )
+            links.append((ColumnRef(inner_name), ColumnRef(outer_name)))
+        if not links:
+            return None  # uncorrelated: let literal substitution handle it
+
+        # Build the inner DISTINCT projection over output + link columns.
+        items: List[SelectItem] = []
+        if sub.kind == "in":
+            items.append(SelectItem(inner.items[0].expr, "__c0"))
+        for i, (inner_col, _) in enumerate(links):
+            items.append(SelectItem(inner_col, f"__l{i}"))
+        derived = SelectStmt(
+            items=items,
+            from_tables=list(inner.from_tables),
+            joins=list(inner.joins),
+            where=conjoin(pure_inner),
+            distinct=True,
+        )
+        alias = f"__dq{counter}_{len(self._live_transients)}"
+        table_name = self._materialize_view(derived, f"__decorr_{alias}")
+        self._live_transients.append(table_name)
+        extra_tables.append(TableRef(table_name, alias))
+
+        conjuncts_out: List[Any] = []
+        if sub.kind == "in":
+            conjuncts_out.append(eq(sub.operand, ColumnRef(f"{alias}.__c0")))
+        for i, (_, outer_col) in enumerate(links):
+            conjuncts_out.append(eq(ColumnRef(f"{alias}.__l{i}"), outer_col))
+        return conjuncts_out
+
+    def _substitute_subquery(self, expr):
+        from ..expr import InList, Literal, SubqueryExpr
+
+        if not isinstance(expr, SubqueryExpr):
+            return expr
+        inner: SelectStmt = expr.payload
+        try:
+            result = self._select(inner)
+        except Exception as exc:
+            raise EngineError(
+                "subquery failed (correlated subqueries are not supported: "
+                f"the inner query must run standalone): {exc}"
+            ) from exc
+        if expr.kind == "exists":
+            return Literal(bool(result.rows) != expr.negated)
+        if expr.kind == "scalar":
+            if len(result.columns) != 1:
+                raise EngineError("scalar subquery must return one column")
+            if len(result.rows) > 1:
+                raise EngineError("scalar subquery returned more than one row")
+            value = result.rows[0][0] if result.rows else None
+            return Literal(value)
+        # 'in'
+        if len(result.columns) != 1:
+            raise EngineError("IN subquery must return exactly one column")
+        values = {row[0] for row in result.rows if row[0] is not None}
+        had_null = any(row[0] is None for row in result.rows)
+        if not values and not had_null:
+            return Literal(expr.negated)  # IN () = FALSE, NOT IN () = TRUE
+        items = tuple(Literal(v) for v in sorted(values, key=repr))
+        if had_null:
+            items = items + (Literal(None),)
+        return InList(expr.operand, items, expr.negated)
+
+    def plan(self, sql: str) -> PhysicalPlan:
+        stmt = parse(sql)
+        if isinstance(stmt, ExplainStmt):
+            stmt = stmt.inner
+        if not isinstance(stmt, SelectStmt):
+            raise EngineError("plan() expects a SELECT")
+        return self.plan_select(stmt)[0]
+
+    def explain(self, sql: str) -> str:
+        return self.plan(sql).pretty()
+
+    def explain_stmt(self, stmt: SelectStmt) -> str:
+        return self.plan_select(stmt)[0].pretty()
+
+    # -- execution ---------------------------------------------------------------------------
+
+    def run_plan(self, physical: PhysicalPlan, cold: bool = False) -> QueryResult:
+        """Execute an already-built physical plan, measuring real I/O.
+
+        ``cold=True`` clears the buffer pool first so the run pays full
+        page-fetch costs (what the experiments usually want).
+        """
+        if cold:
+            self.pool.clear()
+        before = self.disk.stats.snapshot()
+        ctx = ExecContext(self.pool, self.work_mem_pages)
+        start = time.perf_counter()
+        rows = run(physical, ctx)
+        elapsed = time.perf_counter() - start
+        return QueryResult(
+            rows=rows,
+            columns=physical.schema.names(),
+            plan=physical,
+            io=self.disk.stats.delta(before),
+            exec_metrics=ctx.metrics,
+            execution_seconds=elapsed,
+        )
+
+    def _select(self, stmt: SelectStmt) -> QueryResult:
+        start = time.perf_counter()
+        before_transients = len(self._live_transients)
+        physical, pstats = self.plan_select(stmt)
+        planning = time.perf_counter() - start
+        try:
+            result = self.run_plan(physical)
+        finally:
+            # transient tables created for THIS statement's views
+            mine = self._live_transients[before_transients:]
+            del self._live_transients[before_transients:]
+            for name in mine:
+                if self.catalog.has_table(name):
+                    self.catalog.drop_table(name)
+        result.planner_stats = pstats
+        result.planning_seconds = planning
+        return result
+
+    def _insert(self, stmt: InsertStmt) -> int:
+        info = self.catalog.table(stmt.table)
+        rows = []
+        for value_row in stmt.rows:
+            literals: List[Any] = []
+            for expr in value_row:
+                from ..expr import fold_constants
+
+                folded = fold_constants(expr)
+                if not isinstance(folded, Literal):
+                    raise EngineError(
+                        f"INSERT values must be constants, got {expr}"
+                    )
+                literals.append(folded.value)
+            if stmt.columns is None:
+                rows.append(tuple(literals))
+            else:
+                by_name = dict(zip(stmt.columns, literals))
+                full = []
+                for column in info.schema:
+                    full.append(by_name.pop(column.name, None))
+                if by_name:
+                    raise EngineError(
+                        f"unknown INSERT columns: {sorted(by_name)}"
+                    )
+                rows.append(tuple(full))
+        return self.catalog.insert_rows(stmt.table, rows)
+
+    def _matching_rids(self, info: TableInfo, where) -> List[Tuple[Any, Any]]:
+        """(rid, row) pairs matching a WHERE clause (full scan; fine for the
+        DML volumes this engine targets)."""
+        from ..expr import compile_predicate
+
+        if where is None:
+            return list(info.heap.scan())
+        schema = info.schema
+        predicate = compile_predicate(where, schema)
+        return [(rid, row) for rid, row in info.heap.scan() if predicate(row)]
+
+    def _delete(self, stmt: DeleteStmt) -> int:
+        info = self.catalog.table(stmt.table)
+        victims = self._matching_rids(info, stmt.where)
+        for rid, row in victims:
+            info.heap.delete(rid)
+            for index in info.indexes.values():
+                value = self._index_key_of(info, row, index)
+                if value is None and index.kind is IndexKind.HASH:
+                    continue
+                index.structure.delete(value, rid)
+        return len(victims)
+
+    @staticmethod
+    def _index_key_of(info: TableInfo, row, index) -> Any:
+        positions = [info.schema.index_of(c) for c in index.columns]
+        if len(positions) == 1:
+            return row[positions[0]]
+        return tuple(row[p] for p in positions)
+
+    def _update(self, stmt: UpdateStmt) -> int:
+        from ..expr import compile_expr
+
+        info = self.catalog.table(stmt.table)
+        schema = info.schema
+        positions = []
+        setters = []
+        for column, expr in stmt.assignments:
+            positions.append(schema.index_of(column))
+            setters.append(compile_expr(expr, schema))
+        victims = self._matching_rids(info, stmt.where)
+        for rid, row in victims:
+            new_row = list(row)
+            for pos, setter in zip(positions, setters):
+                new_row[pos] = setter(row)
+            new_rid = info.heap.update(rid, tuple(new_row))
+            stored = info.heap.fetch(new_rid)
+            for index in info.indexes.values():
+                old_value = self._index_key_of(info, row, index)
+                new_value = self._index_key_of(info, stored, index)
+                if old_value == new_value and new_rid == rid:
+                    continue
+                if not (old_value is None and index.kind is IndexKind.HASH):
+                    index.structure.delete(old_value, rid)
+                if not (new_value is None and index.kind is IndexKind.HASH):
+                    index.structure.insert(new_value, new_rid)
+        return len(victims)
+
+    # -- convenience --------------------------------------------------------------------------
+
+    def insert_rows(self, table: str, rows: Sequence[Sequence[Any]]) -> int:
+        return self.catalog.insert_rows(table, rows)
+
+    def analyze(self, table: Optional[str] = None, **kwargs: Any) -> None:
+        if table is None:
+            self.catalog.analyze_all(**kwargs)
+        else:
+            self.catalog.analyze(table, **kwargs)
+
+    def table(self, name: str) -> TableInfo:
+        return self.catalog.table(name)
+
+    def reset_io(self) -> None:
+        self.disk.reset_stats()
+        self.pool.reset_stats()
+
+    def set_strategy(self, strategy: str, **kwargs: Any) -> None:
+        """Switch join-order strategy ('dp', 'greedy', 'naive', ...)."""
+        self.options = PlannerOptions(strategy=strategy, **kwargs)

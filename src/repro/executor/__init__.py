@@ -1,0 +1,22 @@
+"""Volcano-style execution engine with real I/O accounting."""
+
+from .aggregate import Accumulator, AggregateState, compile_group_key
+from .context import ExecContext, ExecMetrics, read_spill, spill_rows
+from .run import execute, run
+from .sortutil import SortKey, cmp_values, make_key_fn, sorted_rows
+
+__all__ = [
+    "Accumulator",
+    "AggregateState",
+    "compile_group_key",
+    "ExecContext",
+    "ExecMetrics",
+    "read_spill",
+    "spill_rows",
+    "execute",
+    "run",
+    "SortKey",
+    "cmp_values",
+    "make_key_fn",
+    "sorted_rows",
+]

@@ -1,0 +1,92 @@
+"""Execution context: work memory, temp-file spill, and run metrics.
+
+``work_mem_pages`` bounds the memory every blocking operator may use
+(sort runs, hash-join build side, nested-loop blocks).  Spill goes through
+temp heap files on the simulated disk via the shared buffer pool, so
+spilling shows up in the I/O counters exactly like any other page traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Sequence, Tuple
+
+from ..storage import BufferPool, HeapFile, IOStats
+from ..types import Schema
+
+
+@dataclass
+class ExecMetrics:
+    """Executor-side counters (I/O counters live on the disk manager)."""
+
+    rows_scanned: int = 0
+    rows_emitted: int = 0
+    comparisons: int = 0
+    hash_probes: int = 0
+    temp_files: int = 0
+    spills: int = 0
+
+
+class ExecContext:
+    """Shared state for one query execution."""
+
+    def __init__(self, pool: BufferPool, work_mem_pages: int = 64):
+        if work_mem_pages < 3:
+            raise ValueError("work memory must be at least 3 pages")
+        self.pool = pool
+        self.work_mem_pages = work_mem_pages
+        self.metrics = ExecMetrics()
+        self._temp_counter = 0
+        self._temp_files: List[HeapFile] = []
+
+    @property
+    def work_mem_bytes(self) -> int:
+        return self.work_mem_pages * self.pool.disk.page_size
+
+    # -- temp files --------------------------------------------------------------
+
+    def create_temp(self, schema: Schema) -> HeapFile:
+        self._temp_counter += 1
+        self.metrics.temp_files += 1
+        temp = HeapFile(self.pool, schema, f"tmp:{self._temp_counter}")
+        self._temp_files.append(temp)
+        return temp
+
+    def drop_temp(self, temp: HeapFile) -> None:
+        self.pool.discard_file(temp.file_id)
+        self.pool.disk.drop_file(temp.file_id)
+        if temp in self._temp_files:
+            self._temp_files.remove(temp)
+
+    def cleanup(self) -> None:
+        """Drop any temp files still alive (safe to call repeatedly)."""
+        for temp in list(self._temp_files):
+            self.drop_temp(temp)
+
+    # -- memory accounting ----------------------------------------------------------
+
+    def rows_fit_in_memory(self, schema: Schema, num_rows: int) -> bool:
+        return num_rows * schema.estimated_row_bytes() <= self.work_mem_bytes
+
+    def max_rows_in_memory(self, schema: Schema, pages: int = 0) -> int:
+        """How many rows of *schema* fit in the budget (or in *pages*)."""
+        budget = (
+            pages * self.pool.disk.page_size if pages else self.work_mem_bytes
+        )
+        return max(1, budget // schema.estimated_row_bytes())
+
+
+def spill_rows(
+    ctx: ExecContext, schema: Schema, rows: Sequence[Tuple[Any, ...]]
+) -> HeapFile:
+    """Write *rows* to a fresh temp file (one spill event)."""
+    ctx.metrics.spills += 1
+    temp = ctx.create_temp(schema)
+    for row in rows:
+        temp.insert(row)
+    return temp
+
+
+def read_spill(ctx: ExecContext, temp: HeapFile) -> Iterator[Tuple[Any, ...]]:
+    """Stream a temp file's rows back (in insertion order)."""
+    return temp.scan_rows()

@@ -1,0 +1,413 @@
+"""Physical plan operators.
+
+A physical plan fixes every execution decision: access paths, join
+algorithms, join order, sort placement.  Planners annotate each node with
+estimated cardinality (``est_rows``) and estimated cost (``est_cost``, a
+``repro.optimizer.cost.Cost``); the executor turns the tree into iterators
+and fills in nothing — actual metrics come from the buffer pool and disk.
+
+EXPLAIN output renders this tree with both estimates and (after execution)
+actuals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from ..catalog import IndexInfo, TableInfo
+from ..expr import AggCall, Expr
+from ..types import Column, DataType, Schema
+
+
+class PhysicalError(Exception):
+    """Raised on malformed physical plans."""
+
+
+@dataclass
+class RangeBound:
+    """One side of an index range: value + inclusivity.  ``None`` = open."""
+
+    value: Any = None
+    inclusive: bool = True
+    unbounded: bool = True
+
+    @classmethod
+    def at(cls, value: Any, inclusive: bool) -> "RangeBound":
+        return cls(value, inclusive, False)
+
+    @classmethod
+    def open(cls) -> "RangeBound":
+        return cls()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.unbounded:
+            return "*"
+        return f"{'=' if self.inclusive else ''}{self.value!r}"
+
+
+class PhysicalPlan:
+    """Base class for physical operators."""
+
+    schema: Schema
+    est_rows: float = 0.0
+    est_cost: Any = None  # repro.optimizer.cost.Cost, untyped to avoid cycle
+    actual_rows: Optional[int] = None  # filled by instrumented execution
+
+    def children(self) -> Tuple["PhysicalPlan", ...]:
+        return ()
+
+    def describe(self) -> str:  # pragma: no cover - overridden
+        return type(self).__name__
+
+    def pretty(self, indent: int = 0, actuals: bool = False) -> str:
+        cost = self.est_cost
+        note = f"  (rows≈{self.est_rows:.0f}"
+        if cost is not None:
+            note += f", cost≈{cost.total:.1f}"
+        if actuals and self.actual_rows is not None:
+            note += f", actual_rows={self.actual_rows}"
+        note += ")"
+        lines = ["  " * indent + self.describe() + note]
+        for child in self.children():
+            lines.append(child.pretty(indent + 1, actuals))
+        return "\n".join(lines)
+
+    def total_est_cost(self) -> float:
+        return self.est_cost.total if self.est_cost is not None else 0.0
+
+
+@dataclass
+class PSeqScan(PhysicalPlan):
+    table: TableInfo
+    binding: str
+    predicate: Optional[Expr] = None
+    schema: Schema = field(init=False)
+
+    def __post_init__(self):
+        self.schema = self.table.schema.renamed(self.binding)
+
+    def describe(self) -> str:
+        suffix = f" filter {self.predicate}" if self.predicate is not None else ""
+        return f"SeqScan({self.table.name} AS {self.binding}){suffix}"
+
+
+@dataclass
+class PIndexScan(PhysicalPlan):
+    """B+-tree range scan (or hash probe when ``low == high`` equality and
+    the index is a hash index), fetching heap rows by RID."""
+
+    table: TableInfo
+    binding: str
+    index: IndexInfo
+    low: RangeBound = field(default_factory=RangeBound.open)
+    high: RangeBound = field(default_factory=RangeBound.open)
+    residual: Optional[Expr] = None
+    schema: Schema = field(init=False)
+
+    def __post_init__(self):
+        self.schema = self.table.schema.renamed(self.binding)
+
+    @property
+    def is_equality(self) -> bool:
+        return (
+            not self.low.unbounded
+            and not self.high.unbounded
+            and self.low.value == self.high.value
+            and self.low.inclusive
+            and self.high.inclusive
+        )
+
+    def describe(self) -> str:
+        kind = self.index.kind.value
+        clustered = " clustered" if self.index.clustered else ""
+        rng = f"[{self.low} .. {self.high}]"
+        suffix = f" filter {self.residual}" if self.residual is not None else ""
+        return (
+            f"IndexScan({self.table.name} AS {self.binding} via "
+            f"{self.index.name}:{kind}{clustered} {rng}){suffix}"
+        )
+
+
+@dataclass
+class PIndexOnlyScan(PhysicalPlan):
+    """Answer directly from index entries (key column only, no heap I/O)."""
+
+    table: TableInfo
+    binding: str
+    index: IndexInfo
+    low: RangeBound = field(default_factory=RangeBound.open)
+    high: RangeBound = field(default_factory=RangeBound.open)
+    schema: Schema = field(init=False)
+
+    def __post_init__(self):
+        column = self.table.schema.column(self.index.column)
+        self.schema = Schema(
+            [Column(column.name, column.dtype, self.binding, column.nullable)]
+        )
+
+    def describe(self) -> str:
+        return (
+            f"IndexOnlyScan({self.table.name} AS {self.binding} via "
+            f"{self.index.name} [{self.low} .. {self.high}])"
+        )
+
+
+@dataclass
+class PFilter(PhysicalPlan):
+    child: PhysicalPlan
+    predicate: Expr
+    schema: Schema = field(init=False)
+
+    def __post_init__(self):
+        self.schema = self.child.schema
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate})"
+
+
+@dataclass
+class PProject(PhysicalPlan):
+    child: PhysicalPlan
+    exprs: Tuple[Expr, ...]
+    names: Tuple[str, ...]
+    dtypes: Tuple[DataType, ...]
+    schema: Schema = field(init=False)
+
+    def __post_init__(self):
+        self.schema = Schema(
+            Column(n, t, None) for n, t in zip(self.names, self.dtypes)
+        )
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Project({', '.join(self.names)})"
+
+
+@dataclass
+class PNarrow(PhysicalPlan):
+    child: PhysicalPlan
+    positions: Tuple[int, ...]
+    schema: Schema = field(init=False)
+
+    def __post_init__(self):
+        self.schema = Schema(self.child.schema[i] for i in self.positions)
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Narrow({', '.join(c.qualified_name for c in self.schema)})"
+
+
+@dataclass
+class PNestedLoopJoin(PhysicalPlan):
+    """Block nested-loop join: outer read once in blocks sized to the work
+    memory, inner rescanned per block.  ``block_pages=1`` degenerates to
+    the classic tuple-at-a-time nested loop."""
+
+    left: PhysicalPlan
+    right: PhysicalPlan
+    condition: Optional[Expr]
+    block_pages: int = 1
+    schema: Schema = field(init=False)
+
+    def __post_init__(self):
+        self.schema = self.left.schema.concat(self.right.schema)
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        cond = self.condition if self.condition is not None else "TRUE"
+        return f"NestedLoopJoin(on {cond}, block={self.block_pages}p)"
+
+
+@dataclass
+class PIndexNLJoin(PhysicalPlan):
+    """Index nested-loop: for each outer row, probe an index on the inner
+    table with the value of ``outer_key``."""
+
+    left: PhysicalPlan
+    table: TableInfo
+    binding: str
+    index: IndexInfo
+    outer_key: Expr
+    residual: Optional[Expr] = None
+    schema: Schema = field(init=False)
+
+    def __post_init__(self):
+        inner_schema = self.table.schema.renamed(self.binding)
+        self.schema = self.left.schema.concat(inner_schema)
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.left,)
+
+    def describe(self) -> str:
+        suffix = f" filter {self.residual}" if self.residual is not None else ""
+        return (
+            f"IndexNLJoin({self.table.name} AS {self.binding} via "
+            f"{self.index.name} on {self.outer_key}){suffix}"
+        )
+
+
+@dataclass
+class PSortMergeJoin(PhysicalPlan):
+    """Merge join on equality keys; inputs must already be sorted on the
+    keys (the planner inserts PSort where required)."""
+
+    left: PhysicalPlan
+    right: PhysicalPlan
+    left_key: Expr
+    right_key: Expr
+    residual: Optional[Expr] = None
+    schema: Schema = field(init=False)
+
+    def __post_init__(self):
+        self.schema = self.left.schema.concat(self.right.schema)
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        suffix = f" filter {self.residual}" if self.residual is not None else ""
+        return f"SortMergeJoin({self.left_key} = {self.right_key}){suffix}"
+
+
+@dataclass
+class PHashJoin(PhysicalPlan):
+    """Hash join building on the right input; falls back to Grace
+    partitioning through temp files when the build side exceeds work
+    memory."""
+
+    left: PhysicalPlan
+    right: PhysicalPlan
+    left_key: Expr
+    right_key: Expr
+    residual: Optional[Expr] = None
+    schema: Schema = field(init=False)
+
+    def __post_init__(self):
+        self.schema = self.left.schema.concat(self.right.schema)
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        suffix = f" filter {self.residual}" if self.residual is not None else ""
+        return f"HashJoin({self.left_key} = {self.right_key}, build=right){suffix}"
+
+
+@dataclass
+class PSort(PhysicalPlan):
+    """External merge sort through temp files when input exceeds work
+    memory."""
+
+    child: PhysicalPlan
+    keys: Tuple[Tuple[Expr, bool], ...]
+    schema: Schema = field(init=False)
+
+    def __post_init__(self):
+        self.schema = self.child.schema
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        keys = ", ".join(f"{e} {'ASC' if a else 'DESC'}" for e, a in self.keys)
+        return f"Sort({keys})"
+
+    @property
+    def sort_columns(self) -> Tuple[str, ...]:
+        """Qualified column names if all keys are plain ascending columns."""
+        from ..expr import ColumnRef
+
+        out: List[str] = []
+        for expr, asc in self.keys:
+            if not asc or not isinstance(expr, ColumnRef):
+                return ()
+            out.append(expr.name)
+        return tuple(out)
+
+
+@dataclass
+class PAggregate(PhysicalPlan):
+    """Hash aggregation (or stream aggregation when ``streaming`` and the
+    input is sorted on the group keys)."""
+
+    child: PhysicalPlan
+    group_exprs: Tuple[Expr, ...]
+    group_names: Tuple[str, ...]
+    aggs: Tuple[AggCall, ...]
+    schema: Schema
+    streaming: bool = False
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        mode = "stream" if self.streaming else "hash"
+        groups = ", ".join(str(g) for g in self.group_exprs) or "()"
+        aggs = ", ".join(str(a) for a in self.aggs)
+        return f"Aggregate[{mode}](by {groups}: {aggs})"
+
+
+@dataclass
+class PDistinct(PhysicalPlan):
+    child: PhysicalPlan
+    schema: Schema = field(init=False)
+
+    def __post_init__(self):
+        self.schema = self.child.schema
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return "Distinct"
+
+
+@dataclass
+class PLimit(PhysicalPlan):
+    child: PhysicalPlan
+    count: int
+    schema: Schema = field(init=False)
+
+    def __post_init__(self):
+        self.schema = self.child.schema
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Limit({self.count})"
+
+
+@dataclass
+class PMaterialize(PhysicalPlan):
+    """Cache the child's rows in memory for repeated scans (inner of a
+    nested loop over a non-table subplan)."""
+
+    child: PhysicalPlan
+    schema: Schema = field(init=False)
+
+    def __post_init__(self):
+        self.schema = self.child.schema
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return "Materialize"
+
+
+def walk_plan(plan: PhysicalPlan):
+    """Pre-order traversal."""
+    yield plan
+    for child in plan.children():
+        yield from walk_plan(child)

@@ -1,0 +1,30 @@
+"""SQL front-end: lexer, AST, recursive-descent parser."""
+
+from .ast import (
+    AnalyzeStmt,
+    ColumnDef,
+    CreateIndexStmt,
+    CreateTableStmt,
+    CreateViewStmt,
+    DeleteStmt,
+    DropTableStmt,
+    DropViewStmt,
+    ExplainStmt,
+    InsertStmt,
+    JoinClause,
+    OrderItem,
+    SelectItem,
+    SelectStmt,
+    Statement,
+    TableRef,
+    UpdateStmt,
+)
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, parse, parse_expression
+
+__all__ = [
+    "AnalyzeStmt", "ColumnDef", "CreateIndexStmt", "CreateTableStmt",
+    "CreateViewStmt", "DeleteStmt", "DropTableStmt", "DropViewStmt", "ExplainStmt", "InsertStmt", "JoinClause", "OrderItem",
+    "SelectItem", "SelectStmt", "Statement", "TableRef", "UpdateStmt",
+    "LexError", "Token", "tokenize", "ParseError", "parse", "parse_expression",
+]

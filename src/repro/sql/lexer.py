@@ -1,0 +1,140 @@
+"""SQL tokenizer.
+
+Produces a flat token stream for the recursive-descent parser.  Token kinds:
+KEYWORD (upper-cased), IDENT (case-preserved), NUMBER (int/float literal),
+STRING (single-quoted, '' escapes), SYMBOL (punctuation/operators), EOF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "AS", "JOIN", "INNER",
+    "ON", "GROUP", "BY", "HAVING", "ORDER", "ASC", "DESC", "LIMIT",
+    "DISTINCT", "INSERT", "INTO", "VALUES", "CREATE", "TABLE", "INDEX",
+    "UNIQUE", "CLUSTERED", "USING", "BTREE", "HASH", "ANALYZE", "EXPLAIN",
+    "NULL", "TRUE", "FALSE", "IS", "IN", "LIKE", "BETWEEN", "COUNT", "SUM",
+    "AVG", "MIN", "MAX", "PRIMARY", "KEY", "DROP", "CROSS", "DELETE",
+    "UPDATE", "SET", "EXISTS", "VIEW", "ANALYSE",
+}
+
+SYMBOLS = [
+    "<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*", "+", "-",
+    "/", "%", ".", ";",
+]
+
+
+class LexError(Exception):
+    """Raised on characters the tokenizer cannot interpret."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | SYMBOL | EOF
+    value: object
+    position: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}({self.value!r})"
+
+
+def tokenize(sql: str) -> List[Token]:
+    return list(_tokens(sql))
+
+
+def _tokens(sql: str) -> Iterator[Token]:
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            nl = sql.find("\n", i)
+            i = n if nl < 0 else nl + 1
+            continue
+        if ch == "'":
+            value, i = _string(sql, i)
+            yield Token("STRING", value, i)
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and sql[i + 1].isdigit()
+        ):
+            value, i = _number(sql, i)
+            yield Token("NUMBER", value, i)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token("KEYWORD", upper, start)
+            else:
+                yield Token("IDENT", word, start)
+            continue
+        matched = False
+        for sym in SYMBOLS:
+            if sql.startswith(sym, i):
+                canonical = "<>" if sym == "!=" else sym
+                yield Token("SYMBOL", canonical, i)
+                i += len(sym)
+                matched = True
+                break
+        if not matched:
+            raise LexError(f"unexpected character {ch!r}", i)
+    yield Token("EOF", None, n)
+
+
+def _string(sql: str, i: int):
+    out = []
+    i += 1  # skip opening quote
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                out.append("'")
+                i += 2
+                continue
+            return "".join(out), i + 1
+        out.append(ch)
+        i += 1
+    raise LexError("unterminated string literal", i)
+
+
+def _number(sql: str, i: int):
+    start = i
+    n = len(sql)
+    seen_dot = False
+    seen_exp = False
+    while i < n:
+        ch = sql[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            i += 1
+        elif ch in "eE" and not seen_exp and i > start:
+            nxt = sql[i + 1] if i + 1 < n else ""
+            if nxt.isdigit() or (
+                nxt in "+-" and i + 2 < n and sql[i + 2].isdigit()
+            ):
+                seen_exp = True
+                i += 2 if nxt in "+-" else 1
+            else:
+                break
+        else:
+            break
+    text = sql[start:i]
+    if seen_dot or seen_exp:
+        return float(text), i
+    return int(text), i

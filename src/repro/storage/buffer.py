@@ -1,0 +1,221 @@
+"""Buffer manager: a fixed set of frames between the executor and the disk.
+
+The pool implements the classic pin/unpin protocol with pluggable
+replacement policies (LRU, Clock, MRU, FIFO).  Every physical operator does
+its page access through here, so buffer-pool hit rates — and therefore the
+buffer-size-sensitivity experiments (E8) — fall out of real mechanism, not
+modeling.
+
+Frames hold ``bytearray`` page images.  A dirty frame is written back when
+evicted or on ``flush_all``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from .disk import DiskManager, PageId
+
+
+class BufferError_(Exception):
+    """Raised when the pool cannot satisfy a fix request."""
+
+
+class Replacement(enum.Enum):
+    LRU = "lru"
+    CLOCK = "clock"
+    MRU = "mru"
+    FIFO = "fifo"
+
+
+@dataclass
+class BufferStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class _Frame:
+    __slots__ = ("page_id", "data", "pin_count", "dirty", "referenced")
+
+    def __init__(self, page_id: PageId, data: bytearray):
+        self.page_id = page_id
+        self.data = data
+        self.pin_count = 0
+        self.dirty = False
+        self.referenced = True  # for Clock
+
+
+class BufferPool:
+    """A bounded cache of disk pages with pin/unpin semantics."""
+
+    def __init__(
+        self,
+        disk: DiskManager,
+        capacity: int = 64,
+        policy: Replacement = Replacement.LRU,
+    ):
+        if capacity < 1:
+            raise ValueError("buffer pool needs at least one frame")
+        self.disk = disk
+        self.capacity = capacity
+        self.policy = policy
+        self.stats = BufferStats()
+        # OrderedDict gives us LRU/MRU/FIFO ordering cheaply; for Clock we
+        # sweep it with a persistent hand index.
+        self._frames: "OrderedDict[PageId, _Frame]" = OrderedDict()
+        self._clock_hand = 0
+
+    # -- public protocol -----------------------------------------------------------
+
+    def fix(self, page_id: PageId) -> bytearray:
+        """Pin a page and return its in-pool image (mutable, shared)."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.stats.hits += 1
+            self._touch(frame)
+        else:
+            self.stats.misses += 1
+            self._ensure_capacity()
+            frame = _Frame(page_id, self.disk.read_page(page_id))
+            self._frames[page_id] = frame
+        frame.pin_count += 1
+        return frame.data
+
+    def unfix(self, page_id: PageId, dirty: bool = False) -> None:
+        """Release one pin; mark the frame dirty if the caller modified it."""
+        frame = self._frames.get(page_id)
+        if frame is None or frame.pin_count <= 0:
+            raise BufferError_(f"unfix of page {page_id} that is not pinned")
+        frame.pin_count -= 1
+        if dirty:
+            frame.dirty = True
+
+    def new_page(self, file_id: int) -> PageId:
+        """Allocate a fresh page on disk and fix it (pinned, zeroed)."""
+        page_id = self.disk.allocate_page(file_id)
+        self._ensure_capacity()
+        frame = _Frame(page_id, bytearray(self.disk.page_size))
+        frame.pin_count = 1
+        frame.dirty = True
+        self._frames[page_id] = frame
+        return page_id
+
+    def flush_all(self) -> None:
+        for frame in self._frames.values():
+            self._writeback(frame)
+
+    def clear(self) -> None:
+        """Flush and drop every unpinned frame (used between experiments so
+        runs start cold)."""
+        pinned = [f for f in self._frames.values() if f.pin_count > 0]
+        if pinned:
+            raise BufferError_(f"{len(pinned)} frames still pinned")
+        self.flush_all()
+        self._frames.clear()
+        self._clock_hand = 0
+
+    def discard_file(self, file_id: int) -> None:
+        """Drop every frame of *file_id* without writeback (the file is
+        being deleted).  Must be called before the disk file is dropped."""
+        doomed = [pid for pid in self._frames if pid[0] == file_id]
+        for pid in doomed:
+            frame = self._frames[pid]
+            if frame.pin_count > 0:
+                raise BufferError_(f"page {pid} of dropped file still pinned")
+            del self._frames[pid]
+        self._clock_hand = 0
+
+    def pinned_pages(self) -> Iterator[PageId]:
+        return (pid for pid, f in self._frames.items() if f.pin_count > 0)
+
+    def contains(self, page_id: PageId) -> bool:
+        return page_id in self._frames
+
+    def reset_stats(self) -> None:
+        self.stats = BufferStats()
+
+    # -- internals --------------------------------------------------------------------
+
+    def _touch(self, frame: _Frame) -> None:
+        frame.referenced = True
+        if self.policy in (Replacement.LRU, Replacement.MRU):
+            self._frames.move_to_end(frame.page_id)
+        # FIFO and CLOCK do not reorder on access.
+
+    def _ensure_capacity(self) -> None:
+        if len(self._frames) < self.capacity:
+            return
+        victim = self._choose_victim()
+        self._writeback(victim)
+        del self._frames[victim.page_id]
+        self.stats.evictions += 1
+
+    def _choose_victim(self) -> _Frame:
+        if self.policy is Replacement.CLOCK:
+            return self._clock_victim()
+        frames = list(self._frames.values())
+        order = reversed(frames) if self.policy is Replacement.MRU else iter(frames)
+        for frame in order:
+            if frame.pin_count == 0:
+                return frame
+        raise BufferError_("all frames pinned; cannot evict")
+
+    def _clock_victim(self) -> _Frame:
+        frames = list(self._frames.values())
+        n = len(frames)
+        sweeps = 0
+        while sweeps < 2 * n + 1:
+            frame = frames[self._clock_hand % n]
+            self._clock_hand = (self._clock_hand + 1) % n
+            sweeps += 1
+            if frame.pin_count > 0:
+                continue
+            if frame.referenced:
+                frame.referenced = False
+                continue
+            return frame
+        raise BufferError_("all frames pinned; cannot evict")
+
+    def _writeback(self, frame: _Frame) -> None:
+        if frame.dirty:
+            self.disk.write_page(frame.page_id, bytes(frame.data))
+            frame.dirty = False
+            self.stats.dirty_writebacks += 1
+
+
+class PageGuard:
+    """Context manager for exception-safe fix/unfix.
+
+    ::
+
+        with PageGuard(pool, page_id) as data:
+            ... read data ...
+        with PageGuard(pool, page_id, write=True) as data:
+            ... mutate data ...
+    """
+
+    def __init__(self, pool: BufferPool, page_id: PageId, write: bool = False):
+        self.pool = pool
+        self.page_id = page_id
+        self.write = write
+        self._data: Optional[bytearray] = None
+
+    def __enter__(self) -> bytearray:
+        self._data = self.pool.fix(self.page_id)
+        return self._data
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.pool.unfix(self.page_id, dirty=self.write and exc_type is None)

@@ -1,0 +1,148 @@
+"""Heap files: unordered collections of records over slotted pages.
+
+A heap file owns one disk file.  Records are addressed by RID
+``(page_no, slot_no)``.  Inserts go to the last page with room (tracked via
+a tiny in-memory free-space hint); scans walk pages in order through the
+buffer pool, so sequential scans cost exactly ``num_pages`` reads on a cold
+pool.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from ..types import Schema
+from .buffer import BufferPool, PageGuard
+from .page import SlottedPage
+from .record import deserialize_row, serialize_row
+
+RID = Tuple[int, int]  # (page_no, slot_no)
+
+
+class HeapError(Exception):
+    """Raised on invalid RIDs or oversized records."""
+
+
+class HeapFile:
+    """An unordered record file with stable RIDs."""
+
+    def __init__(self, pool: BufferPool, schema: Schema, name: str):
+        self.pool = pool
+        self.schema = schema
+        self.name = name
+        self.file_id = pool.disk.create_file(name)
+        # Free-space hints: page numbers that recently had room.  Purely an
+        # optimization — correctness never depends on it.
+        self._insert_hint: Optional[int] = None
+        self._num_rows = 0
+
+    # -- geometry ---------------------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        return self.pool.disk.num_pages(self.file_id)
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    # -- mutation ----------------------------------------------------------------
+
+    def insert(self, row: Sequence[Any]) -> RID:
+        """Validate, serialize and store a row; returns its RID."""
+        stored = self.schema.validate_row(row)
+        record = serialize_row(self.schema, stored)
+        max_record = self.pool.disk.page_size - 64
+        if len(record) > max_record:
+            raise HeapError(
+                f"record of {len(record)} bytes exceeds page capacity"
+            )
+        page_no = self._find_space(len(record))
+        page_id = (self.file_id, page_no)
+        with PageGuard(self.pool, page_id, write=True) as data:
+            slot_no = SlottedPage(data).insert(record)
+        self._insert_hint = page_no
+        self._num_rows += 1
+        return (page_no, slot_no)
+
+    def insert_many(self, rows: Sequence[Sequence[Any]]) -> List[RID]:
+        return [self.insert(row) for row in rows]
+
+    def delete(self, rid: RID) -> bool:
+        page_no, slot_no = rid
+        self._check_page(page_no)
+        with PageGuard(self.pool, (self.file_id, page_no), write=True) as data:
+            deleted = SlottedPage(data).delete(slot_no)
+        if deleted:
+            self._num_rows -= 1
+            self._insert_hint = None  # page gained space but needs compaction
+        return deleted
+
+    def update(self, rid: RID, row: Sequence[Any]) -> RID:
+        """Update in place when possible, else delete + reinsert (new RID)."""
+        stored = self.schema.validate_row(row)
+        record = serialize_row(self.schema, stored)
+        page_no, slot_no = rid
+        self._check_page(page_no)
+        with PageGuard(self.pool, (self.file_id, page_no), write=True) as data:
+            if SlottedPage(data).update(slot_no, record):
+                return rid
+        self.delete(rid)
+        return self.insert(row)
+
+    # -- access ------------------------------------------------------------------
+
+    def fetch(self, rid: RID) -> Optional[Tuple[Any, ...]]:
+        """The row at *rid*, or None if it was deleted."""
+        page_no, slot_no = rid
+        self._check_page(page_no)
+        with PageGuard(self.pool, (self.file_id, page_no)) as data:
+            record = SlottedPage(data).read(slot_no)
+        if record is None:
+            return None
+        return deserialize_row(self.schema, record)
+
+    def scan(self) -> Iterator[Tuple[RID, Tuple[Any, ...]]]:
+        """Full scan in page order, yielding ``(rid, row)``."""
+        for page_no in range(self.num_pages):
+            page_id = (self.file_id, page_no)
+            with PageGuard(self.pool, page_id) as data:
+                page = SlottedPage(data)
+                rows = [
+                    ((page_no, slot_no), deserialize_row(self.schema, rec))
+                    for slot_no, rec in page.records()
+                ]
+            # Yield outside the guard so the pin is not held across
+            # consumer work (consumers may fix other pages).
+            for item in rows:
+                yield item
+
+    def scan_rows(self) -> Iterator[Tuple[Any, ...]]:
+        for _, row in self.scan():
+            yield row
+
+    # -- internals -----------------------------------------------------------------
+
+    def _check_page(self, page_no: int) -> None:
+        if not 0 <= page_no < self.num_pages:
+            raise HeapError(f"page {page_no} out of range for heap {self.name}")
+
+    def _find_space(self, record_len: int) -> int:
+        """Page number with room for *record_len*, allocating if needed."""
+        candidates: List[int] = []
+        if self._insert_hint is not None and self._insert_hint < self.num_pages:
+            candidates.append(self._insert_hint)
+        last = self.num_pages - 1
+        if last >= 0 and last not in candidates:
+            candidates.append(last)
+        for page_no in candidates:
+            page_id = (self.file_id, page_no)
+            with PageGuard(self.pool, page_id) as data:
+                if SlottedPage(data).can_fit(record_len):
+                    return page_no
+        page_id = self.pool.new_page(self.file_id)
+        _, page_no = page_id
+        SlottedPage.format(self.pool.fix(page_id))
+        self.pool.unfix(page_id, dirty=True)
+        self.pool.unfix(page_id, dirty=True)  # release new_page's pin too
+        return page_no

@@ -1,0 +1,37 @@
+"""Type system: scalar data types, schemas and row validation."""
+
+from .datatypes import (
+    DEFAULT_TEXT_WIDTH,
+    DataType,
+    TypeError_,
+    byte_width,
+    check_value,
+    common_type,
+    compare,
+    float_to_value,
+    infer_type,
+    parse_type,
+    successor,
+    value_to_float,
+)
+from .schema import Column, Schema, SchemaBuilder, SchemaError, schema_of
+
+__all__ = [
+    "DEFAULT_TEXT_WIDTH",
+    "DataType",
+    "TypeError_",
+    "byte_width",
+    "check_value",
+    "common_type",
+    "compare",
+    "float_to_value",
+    "infer_type",
+    "parse_type",
+    "successor",
+    "value_to_float",
+    "Column",
+    "Schema",
+    "SchemaBuilder",
+    "SchemaError",
+    "schema_of",
+]

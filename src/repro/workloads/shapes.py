@@ -1,0 +1,198 @@
+"""Join-shape workloads: chain, star, clique, cycle.
+
+Each builder loads tables into a :class:`repro.Database` and returns the
+SQL join query of the corresponding shape — the workloads the plan-quality
+(E4) and planning-time (E5) experiments sweep over.
+
+Table design:
+
+* **chain**: R0 → R1 → … → R(n-1); each Ri has ``id`` (unique) and ``fk``
+  pointing into R(i+1); table sizes alternate so join order matters.
+* **star**: one fact table with n-1 foreign keys into n-1 dimension tables
+  of varying size.
+* **clique**: every pair of tables joinable on a shared ``k`` column.
+* **cycle**: chain plus an edge closing the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..engine import Database
+from .generators import Rng, shuffled_ints, uniform_floats, uniform_ints
+
+
+@dataclass
+class ShapeWorkload:
+    """A loaded join workload plus its query."""
+
+    shape: str
+    tables: List[str]
+    sql: str
+    num_relations: int
+
+
+def _sizes(n: int, base: int, ratio: float) -> List[int]:
+    """Alternating sizes around *base* so bad orders are clearly bad."""
+    sizes = []
+    for i in range(n):
+        factor = ratio if i % 2 else 1.0 / ratio
+        sizes.append(max(10, int(base * factor)))
+    return sizes
+
+
+def build_chain(
+    db: Database,
+    n: int,
+    base_rows: int = 1000,
+    ratio: float = 3.0,
+    seed: int = 0,
+    selectivity: float = 1.0,
+    with_indexes: bool = False,
+    prefix: str = "c",
+) -> ShapeWorkload:
+    """Chain query over n relations."""
+    if n < 2:
+        raise ValueError("a chain needs at least two relations")
+    rng = Rng(seed)
+    sizes = _sizes(n, base_rows, ratio)
+    tables = [f"{prefix}{i}" for i in range(n)]
+    for i, (table, rows) in enumerate(zip(tables, sizes)):
+        db.execute(
+            f"CREATE TABLE {table} (id INT, fk INT, v FLOAT)"
+        )
+        ids = shuffled_ints(rng.spawn(i), rows)
+        if i + 1 < n:
+            fks = uniform_ints(rng.spawn(100 + i), rows, 0, sizes[i + 1] - 1)
+        else:
+            fks = uniform_ints(rng.spawn(100 + i), rows, 0, rows - 1)
+        vs = uniform_floats(rng.spawn(200 + i), rows)
+        db.insert_rows(table, list(zip(ids, fks, vs)))
+        if with_indexes:
+            db.execute(f"CREATE INDEX ix_{table}_id ON {table} (id)")
+        db.analyze(table)
+    joins = " AND ".join(
+        f"{tables[i]}.fk = {tables[i + 1]}.id" for i in range(n - 1)
+    )
+    where = joins
+    if selectivity < 1.0:
+        where += f" AND {tables[0]}.v < {selectivity}"
+    sql = f"SELECT COUNT(*) AS n FROM {', '.join(tables)} WHERE {where}"
+    return ShapeWorkload("chain", tables, sql, n)
+
+
+def build_star(
+    db: Database,
+    n: int,
+    fact_rows: int = 5000,
+    dim_base: int = 100,
+    seed: int = 0,
+    with_indexes: bool = False,
+    prefix: str = "s",
+) -> ShapeWorkload:
+    """Star query: fact joined to n-1 dimensions of growing size."""
+    if n < 2:
+        raise ValueError("a star needs at least two relations")
+    rng = Rng(seed)
+    ndims = n - 1
+    dim_tables = [f"{prefix}d{i}" for i in range(ndims)]
+    dim_sizes = [dim_base * (2 ** i) for i in range(ndims)]
+    for i, (table, rows) in enumerate(zip(dim_tables, dim_sizes)):
+        db.execute(f"CREATE TABLE {table} (id INT, attr FLOAT)")
+        db.insert_rows(
+            table,
+            list(
+                zip(
+                    shuffled_ints(rng.spawn(i), rows),
+                    uniform_floats(rng.spawn(50 + i), rows),
+                )
+            ),
+        )
+        if with_indexes:
+            db.execute(f"CREATE INDEX ix_{table}_id ON {table} (id)")
+        db.analyze(table)
+    fact = f"{prefix}fact"
+    cols = ", ".join(f"fk{i} INT" for i in range(ndims))
+    db.execute(f"CREATE TABLE {fact} (id INT, {cols}, measure FLOAT)")
+    columns = [shuffled_ints(rng.spawn(999), fact_rows)]
+    for i, size in enumerate(dim_sizes):
+        columns.append(uniform_ints(rng.spawn(300 + i), fact_rows, 0, size - 1))
+    columns.append(uniform_floats(rng.spawn(777), fact_rows))
+    db.insert_rows(fact, list(zip(*columns)))
+    db.analyze(fact)
+    tables = [fact] + dim_tables
+    joins = " AND ".join(
+        f"{fact}.fk{i} = {dim_tables[i]}.id" for i in range(ndims)
+    )
+    sql = f"SELECT COUNT(*) AS n FROM {', '.join(tables)} WHERE {joins}"
+    return ShapeWorkload("star", tables, sql, n)
+
+
+def build_clique(
+    db: Database,
+    n: int,
+    base_rows: int = 500,
+    domain: int = 50,
+    seed: int = 0,
+    prefix: str = "q",
+) -> ShapeWorkload:
+    """Clique query: every pair of relations joined on a shared key."""
+    if n < 2:
+        raise ValueError("a clique needs at least two relations")
+    rng = Rng(seed)
+    sizes = _sizes(n, base_rows, 2.0)
+    tables = [f"{prefix}{i}" for i in range(n)]
+    for i, (table, rows) in enumerate(zip(tables, sizes)):
+        db.execute(f"CREATE TABLE {table} (id INT, k INT, v FLOAT)")
+        db.insert_rows(
+            table,
+            list(
+                zip(
+                    shuffled_ints(rng.spawn(i), rows),
+                    uniform_ints(rng.spawn(40 + i), rows, 0, domain - 1),
+                    uniform_floats(rng.spawn(80 + i), rows),
+                )
+            ),
+        )
+        db.analyze(table)
+    joins = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            joins.append(f"{tables[i]}.k = {tables[j]}.k")
+    sql = (
+        f"SELECT COUNT(*) AS n FROM {', '.join(tables)} "
+        f"WHERE {' AND '.join(joins)}"
+    )
+    return ShapeWorkload("clique", tables, sql, n)
+
+
+def build_cycle(
+    db: Database,
+    n: int,
+    base_rows: int = 1000,
+    seed: int = 0,
+    prefix: str = "y",
+) -> ShapeWorkload:
+    """Cycle query: a chain whose last relation joins back to the first."""
+    workload = build_chain(
+        db, n, base_rows=base_rows, seed=seed, prefix=prefix
+    )
+    tables = workload.tables
+    extra = f" AND {tables[-1]}.fk = {tables[0]}.id"
+    sql = workload.sql.replace(" AND ", " AND ", 1)  # no-op, clarity
+    # append the closing edge before any trailing clauses (none here)
+    sql = workload.sql + extra
+    return ShapeWorkload("cycle", tables, sql, n)
+
+
+def build_shape(db: Database, shape: str, n: int, **kwargs) -> ShapeWorkload:
+    builders = {
+        "chain": build_chain,
+        "star": build_star,
+        "clique": build_clique,
+        "cycle": build_cycle,
+    }
+    if shape not in builders:
+        raise ValueError(f"unknown shape {shape!r}")
+    return builders[shape](db, n, **kwargs)

@@ -1,0 +1,211 @@
+"""The "wholesale" mini-warehouse: a TPC-H-flavoured analytic schema.
+
+Five tables (region → nation → customer/supplier → orders → lineitem)
+loaded at a configurable scale factor, plus the eight analytical queries
+E10 measures end to end.  Data is seeded and synthetic; distributions are
+chosen so the queries have meaningfully different good and bad plans
+(selective filters, skewed statuses, FK joins of very different sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..engine import Database
+from .generators import (
+    Rng,
+    categorical,
+    prefixed_words,
+    sequential_ints,
+    uniform_floats,
+    uniform_ints,
+    zipf_ints,
+)
+
+REGIONS = ["AMERICA", "EUROPE", "ASIA", "AFRICA", "MIDEAST"]
+STATUSES = ["open", "shipped", "delivered", "returned"]
+SEGMENTS = ["retail", "wholesale", "online", "industrial"]
+
+
+@dataclass
+class WholesaleScale:
+    customers: int = 600
+    suppliers: int = 80
+    orders: int = 4000
+    lineitems_per_order: int = 3
+
+    @classmethod
+    def tiny(cls) -> "WholesaleScale":
+        return cls(customers=150, suppliers=20, orders=800, lineitems_per_order=2)
+
+    @classmethod
+    def small(cls) -> "WholesaleScale":
+        return cls()
+
+    @classmethod
+    def medium(cls) -> "WholesaleScale":
+        return cls(customers=2000, suppliers=200, orders=15000, lineitems_per_order=4)
+
+
+def load_wholesale(
+    db: Database,
+    scale: WholesaleScale = None,
+    seed: int = 42,
+    with_indexes: bool = True,
+) -> Dict[str, int]:
+    """Create and populate the wholesale schema; returns row counts."""
+    scale = scale or WholesaleScale.small()
+    rng = Rng(seed)
+
+    db.execute("CREATE TABLE region (id INT, name TEXT)")
+    db.insert_rows("region", list(enumerate(REGIONS)))
+
+    nnations = len(REGIONS) * 5
+    db.execute("CREATE TABLE nation (id INT, region_id INT, name TEXT)")
+    db.insert_rows(
+        "nation",
+        [
+            (i, i % len(REGIONS), f"nation{i:02d}")
+            for i in range(nnations)
+        ],
+    )
+
+    db.execute(
+        "CREATE TABLE customer (id INT, nation_id INT, segment TEXT, "
+        "name TEXT, balance FLOAT)"
+    )
+    ncust = scale.customers
+    db.insert_rows(
+        "customer",
+        list(
+            zip(
+                sequential_ints(ncust),
+                uniform_ints(rng.spawn(1), ncust, 0, nnations - 1),
+                categorical(rng.spawn(2), ncust, SEGMENTS, [4, 2, 3, 1]),
+                prefixed_words(rng.spawn(3), ncust, ["acme", "globo", "init"]),
+                uniform_floats(rng.spawn(4), ncust, -500.0, 9500.0),
+            )
+        ),
+    )
+
+    db.execute(
+        "CREATE TABLE supplier (id INT, nation_id INT, name TEXT, rating INT)"
+    )
+    nsupp = scale.suppliers
+    db.insert_rows(
+        "supplier",
+        list(
+            zip(
+                sequential_ints(nsupp),
+                uniform_ints(rng.spawn(5), nsupp, 0, nnations - 1),
+                prefixed_words(rng.spawn(6), nsupp, ["sup"]),
+                uniform_ints(rng.spawn(7), nsupp, 1, 5),
+            )
+        ),
+    )
+
+    db.execute(
+        "CREATE TABLE orders (id INT, cust_id INT, status TEXT, "
+        "total FLOAT, priority INT)"
+    )
+    norders = scale.orders
+    db.insert_rows(
+        "orders",
+        list(
+            zip(
+                sequential_ints(norders),
+                zipf_ints(rng.spawn(8), norders, ncust, skew=0.8),
+                categorical(rng.spawn(9), norders, STATUSES, [1, 2, 6, 1]),
+                uniform_floats(rng.spawn(10), norders, 10.0, 5000.0),
+                uniform_ints(rng.spawn(11), norders, 1, 5),
+            )
+        ),
+    )
+
+    db.execute(
+        "CREATE TABLE lineitem (id INT, order_id INT, supp_id INT, "
+        "qty INT, price FLOAT, discount FLOAT)"
+    )
+    nitems = norders * scale.lineitems_per_order
+    db.insert_rows(
+        "lineitem",
+        list(
+            zip(
+                sequential_ints(nitems),
+                uniform_ints(rng.spawn(12), nitems, 0, norders - 1),
+                zipf_ints(rng.spawn(13), nitems, nsupp, skew=0.6),
+                uniform_ints(rng.spawn(14), nitems, 1, 50),
+                uniform_floats(rng.spawn(15), nitems, 1.0, 200.0),
+                uniform_floats(rng.spawn(16), nitems, 0.0, 0.1),
+            )
+        ),
+    )
+
+    if with_indexes:
+        db.execute("CREATE CLUSTERED INDEX ix_cust_id ON customer (id)")
+        db.execute("CREATE CLUSTERED INDEX ix_orders_id ON orders (id)")
+        db.execute("CREATE INDEX ix_orders_cust ON orders (cust_id)")
+        db.execute("CREATE INDEX ix_line_order ON lineitem (order_id)")
+        db.execute("CREATE INDEX ix_line_supp ON lineitem (supp_id)")
+        db.execute("CREATE INDEX ix_supp_id ON supplier (id)")
+        db.execute("CREATE INDEX ix_nation_id ON nation (id)")
+    db.analyze()
+
+    return {
+        "region": len(REGIONS),
+        "nation": nnations,
+        "customer": ncust,
+        "supplier": nsupp,
+        "orders": norders,
+        "lineitem": nitems,
+    }
+
+
+#: The eight end-to-end analytical queries (E10).
+WHOLESALE_QUERIES: Dict[str, str] = {
+    "Q1_status_rollup": (
+        "SELECT o.status, COUNT(*) AS n, SUM(o.total) AS revenue "
+        "FROM orders o GROUP BY o.status ORDER BY revenue DESC"
+    ),
+    "Q2_region_revenue": (
+        "SELECT r.name, SUM(o.total) AS revenue "
+        "FROM orders o, customer c, nation n, region r "
+        "WHERE o.cust_id = c.id AND c.nation_id = n.id "
+        "AND n.region_id = r.id GROUP BY r.name ORDER BY revenue DESC"
+    ),
+    "Q3_top_customers": (
+        "SELECT c.name, SUM(o.total) AS spend "
+        "FROM orders o, customer c "
+        "WHERE o.cust_id = c.id AND o.status = 'delivered' "
+        "GROUP BY c.name ORDER BY spend DESC LIMIT 10"
+    ),
+    "Q4_line_revenue": (
+        "SELECT s.name, SUM(l.price * l.qty * (1 - l.discount)) AS revenue "
+        "FROM lineitem l, supplier s "
+        "WHERE l.supp_id = s.id AND s.rating >= 4 "
+        "GROUP BY s.name ORDER BY revenue DESC LIMIT 5"
+    ),
+    "Q5_big_orders_by_segment": (
+        "SELECT c.segment, COUNT(*) AS n "
+        "FROM orders o, customer c "
+        "WHERE o.cust_id = c.id AND o.total > 4500 "
+        "GROUP BY c.segment"
+    ),
+    "Q6_five_way": (
+        "SELECT r.name, COUNT(*) AS n "
+        "FROM lineitem l, orders o, customer c, nation n, region r "
+        "WHERE l.order_id = o.id AND o.cust_id = c.id "
+        "AND c.nation_id = n.id AND n.region_id = r.id "
+        "AND o.status = 'returned' GROUP BY r.name"
+    ),
+    "Q7_selective_point": (
+        "SELECT o.id, o.total FROM orders o, lineitem l "
+        "WHERE l.order_id = o.id AND o.id = 17"
+    ),
+    "Q8_priority_scan": (
+        "SELECT o.priority, AVG(o.total) AS avg_total "
+        "FROM orders o WHERE o.status <> 'open' "
+        "GROUP BY o.priority ORDER BY o.priority"
+    ),
+}

@@ -1,0 +1,134 @@
+"""Tests for executor internals: sort keys, exec context, spill plumbing,
+physical plan rendering."""
+
+import pytest
+
+from repro.executor import (
+    ExecContext,
+    SortKey,
+    cmp_values,
+    make_key_fn,
+    read_spill,
+    sorted_rows,
+    spill_rows,
+)
+from repro.physical import PSeqScan, PhysicalPlan, RangeBound
+from repro.storage import BufferPool, DiskManager
+from repro.types import DataType, schema_of
+
+
+def make_ctx(work_mem=4, page_size=512, pool_pages=64):
+    disk = DiskManager(page_size)
+    pool = BufferPool(disk, pool_pages)
+    return disk, ExecContext(pool, work_mem)
+
+
+class TestSortUtil:
+    def test_cmp_values_nulls_first(self):
+        assert cmp_values(None, 1) == -1
+        assert cmp_values(1, None) == 1
+        assert cmp_values(None, None) == 0
+        assert cmp_values(1, 2) == -1
+        assert cmp_values("b", "a") == 1
+
+    def test_sort_key_total_order(self):
+        ev = [lambda r: r[0], lambda r: r[1]]
+        key = make_key_fn(ev, [True, False])
+        a = key((1, 5))
+        b = key((1, 9))
+        assert b < a  # second key descending
+        assert not (a < a)
+        assert a == key((1, 5))
+
+    def test_sorted_rows_mixed_directions(self):
+        rows = [(1, "b"), (2, "a"), (1, "a"), (None, "z")]
+        out = sorted_rows(
+            rows,
+            [lambda r: r[0], lambda r: r[1]],
+            [True, True],
+        )
+        assert out == [(None, "z"), (1, "a"), (1, "b"), (2, "a")]
+
+    def test_descending_puts_nulls_last(self):
+        rows = [(1,), (None,), (3,)]
+        out = sorted_rows(rows, [lambda r: r[0]], [False])
+        assert out == [(3,), (1,), (None,)]
+
+
+class TestExecContext:
+    def test_work_mem_validation(self):
+        disk = DiskManager(512)
+        pool = BufferPool(disk, 8)
+        with pytest.raises(ValueError):
+            ExecContext(pool, work_mem_pages=2)
+
+    def test_rows_fit_in_memory(self):
+        _, ctx = make_ctx(work_mem=4, page_size=512)
+        schema = schema_of("t", ("a", DataType.INT))
+        assert ctx.rows_fit_in_memory(schema, 10)
+        assert not ctx.rows_fit_in_memory(schema, 10**6)
+
+    def test_max_rows_positive(self):
+        _, ctx = make_ctx()
+        schema = schema_of("t", ("a", DataType.TEXT))
+        assert ctx.max_rows_in_memory(schema) >= 1
+        assert ctx.max_rows_in_memory(schema, pages=1) >= 1
+
+    def test_spill_roundtrip(self):
+        _, ctx = make_ctx()
+        schema = schema_of("t", ("a", DataType.INT), ("b", DataType.TEXT))
+        rows = [(i, f"r{i}") for i in range(50)]
+        temp = spill_rows(ctx, schema, rows)
+        assert list(read_spill(ctx, temp)) == rows
+        assert ctx.metrics.spills == 1
+        ctx.drop_temp(temp)
+
+    def test_cleanup_drops_all_temps(self):
+        disk, ctx = make_ctx()
+        schema = schema_of("t", ("a", DataType.INT))
+        before = len(disk.file_ids())
+        for _ in range(3):
+            ctx.create_temp(schema)
+        ctx.cleanup()
+        assert len(disk.file_ids()) == before
+        ctx.cleanup()  # idempotent
+
+    def test_temp_files_counted(self):
+        _, ctx = make_ctx()
+        schema = schema_of("t", ("a", DataType.INT))
+        ctx.create_temp(schema)
+        ctx.create_temp(schema)
+        assert ctx.metrics.temp_files == 2
+
+
+class TestPhysicalRendering:
+    def make_scan(self):
+        from repro.catalog import Catalog
+
+        disk = DiskManager()
+        cat = Catalog(BufferPool(disk, 16))
+        info = cat.create_table(
+            "t", schema_of("t", ("a", DataType.INT))
+        )
+        return PSeqScan(info, "t")
+
+    def test_pretty_without_annotations(self):
+        scan = self.make_scan()
+        text = scan.pretty()
+        assert "SeqScan" in text and "rows≈0" in text
+
+    def test_pretty_with_actuals(self):
+        scan = self.make_scan()
+        scan.actual_rows = 42
+        text = scan.pretty(actuals=True)
+        assert "actual_rows=42" in text
+
+    def test_range_bound_repr(self):
+        assert str(RangeBound.open()) == "*"
+        assert "5" in str(RangeBound.at(5, True))
+        bound = RangeBound.at(5, False)
+        assert not bound.inclusive and not bound.unbounded
+
+    def test_total_est_cost_default(self):
+        scan = self.make_scan()
+        assert scan.total_est_cost() == 0.0

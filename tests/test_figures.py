@@ -1,0 +1,76 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.bench.figures import chart_from_table, line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        text = line_chart(
+            "demo",
+            [1, 2, 3],
+            {"up": [1.0, 2.0, 3.0], "down": [3.0, 2.0, 1.0]},
+            width=30,
+            height=8,
+        )
+        assert "demo" in text
+        assert "A=up" in text and "B=down" in text
+        assert "A" in text and "B" in text
+
+    def test_log_scale(self):
+        text = line_chart(
+            "log demo",
+            [1, 2, 3],
+            {"s": [1.0, 100.0, 10000.0]},
+            log_y=True,
+        )
+        assert "log scale" in text
+        assert "10,000" in text
+
+    def test_none_values_skipped(self):
+        text = line_chart(
+            "gaps", [1, 2, 3], {"s": [1.0, None, 3.0]}
+        )
+        assert text.count("A") >= 2  # two points + legend
+
+    def test_overlapping_points_star(self):
+        text = line_chart(
+            "overlap", [1, 2], {"a": [5.0, 1.0], "b": [5.0, 2.0]},
+            width=10, height=5,
+        )
+        assert "*" in text
+
+    def test_single_point(self):
+        text = line_chart("one", [5], {"s": [42.0]})
+        assert "one" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart("bad", [], {})
+        with pytest.raises(ValueError):
+            line_chart("bad", [1], {"s": [None]})
+
+    def test_axis_labels(self):
+        text = line_chart(
+            "lbl", [1, 2], {"s": [1.0, 2.0]},
+            x_label="n", y_label="ms",
+        )
+        assert "ms" in text and text.rstrip().splitlines()[-2].endswith("n")
+
+
+class TestChartFromTable:
+    def test_extracts_series(self):
+        table = ResultTable("t", ["x", "a", "b"])
+        table.add(1, 10.0, 20.0)
+        table.add(2, 30.0, 40.0)
+        text = chart_from_table(table, "x", ["a", "b"])
+        assert "A=a" in text and "B=b" in text
+
+    def test_handles_none_cells(self):
+        table = ResultTable("t", ["x", "a"])
+        table.add(1, 10.0)
+        table.add(2, None)
+        text = chart_from_table(table, "x", ["a"])
+        assert "A=a" in text

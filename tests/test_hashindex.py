@@ -1,0 +1,93 @@
+"""Tests for the static hash index."""
+
+import pytest
+
+from repro.index import HashIndex, HashIndexError
+from repro.storage import BufferPool, DiskManager
+from repro.types import DataType
+
+
+def make_index(dtype=DataType.INT, buckets=8, page_size=512):
+    disk = DiskManager(page_size)
+    pool = BufferPool(disk, 200)
+    return disk, HashIndex(pool, dtype, "h", num_buckets=buckets)
+
+
+class TestHashIndex:
+    def test_insert_search(self):
+        _, ix = make_index()
+        ix.insert(5, (1, 0))
+        assert ix.search(5) == [(1, 0)]
+        assert ix.search(6) == []
+
+    def test_duplicates(self):
+        _, ix = make_index()
+        for i in range(10):
+            ix.insert(5, (i, 0))
+        assert sorted(ix.search(5)) == [(i, 0) for i in range(10)]
+
+    def test_delete(self):
+        _, ix = make_index()
+        ix.insert(5, (1, 0))
+        ix.insert(5, (2, 0))
+        assert ix.delete(5, (1, 0)) is True
+        assert ix.search(5) == [(2, 0)]
+        assert ix.delete(5, (1, 0)) is False
+        assert ix.num_entries == 1
+
+    def test_null_rejected(self):
+        _, ix = make_index()
+        with pytest.raises(HashIndexError):
+            ix.insert(None, (0, 0))
+        assert ix.search(None) == []
+        assert ix.delete(None, (0, 0)) is False
+
+    def test_overflow_chains(self):
+        _, ix = make_index(buckets=2)
+        for i in range(2000):
+            ix.insert(i, (i, 0))
+        assert ix.avg_chain_length() > 1.0
+        assert ix.search(1999) == [(1999, 0)]
+        assert ix.search(0) == [(0, 0)]
+
+    def test_delete_in_overflow_page(self):
+        _, ix = make_index(buckets=1)
+        for i in range(1500):
+            ix.insert(i, (i, 0))
+        assert ix.delete(1400, (1400, 0)) is True
+        assert ix.search(1400) == []
+
+    def test_text_keys(self):
+        _, ix = make_index(DataType.TEXT)
+        ix.insert("alpha", (1, 1))
+        ix.insert("beta", (2, 2))
+        assert ix.search("alpha") == [(1, 1)]
+        assert ix.search("gamma") == []
+
+    def test_items_returns_everything(self):
+        _, ix = make_index(buckets=4)
+        entries = {(i, (i, 0)) for i in range(100)}
+        for k, rid in entries:
+            ix.insert(k, rid)
+        assert set(ix.items()) == entries
+
+    def test_float_int_equivalence(self):
+        """5 and 5.0 hash identically (cross-type equality probes work)."""
+        _, ix = make_index(DataType.FLOAT)
+        ix.insert(5.0, (1, 0))
+        assert ix.search(5.0) == [(1, 0)]
+
+    def test_bucket_count_validation(self):
+        disk = DiskManager(512)
+        pool = BufferPool(disk, 10)
+        with pytest.raises(ValueError):
+            HashIndex(pool, DataType.INT, "h", num_buckets=0)
+
+    def test_probe_io_constant(self):
+        disk, ix = make_index(buckets=64)
+        for i in range(500):
+            ix.insert(i, (i, 0))
+        ix.pool.clear()
+        disk.reset_stats()
+        ix.search(123)
+        assert disk.stats.reads <= 2  # bucket (+ rare overflow)

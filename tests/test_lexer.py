@@ -1,0 +1,78 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql import LexError, tokenize
+
+
+def kinds(sql):
+    return [(t.kind, t.value) for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select FROM Where") == [
+            ("KEYWORD", "SELECT"),
+            ("KEYWORD", "FROM"),
+            ("KEYWORD", "WHERE"),
+        ]
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("myTable _x a1") == [
+            ("IDENT", "myTable"),
+            ("IDENT", "_x"),
+            ("IDENT", "a1"),
+        ]
+
+    def test_numbers(self):
+        assert kinds("1 23 4.5 .5 1e3 2.5E-2") == [
+            ("NUMBER", 1),
+            ("NUMBER", 23),
+            ("NUMBER", 4.5),
+            ("NUMBER", 0.5),
+            ("NUMBER", 1000.0),
+            ("NUMBER", 0.025),
+        ]
+
+    def test_int_vs_float_types(self):
+        toks = tokenize("1 1.0")
+        assert isinstance(toks[0].value, int)
+        assert isinstance(toks[1].value, float)
+
+    def test_strings_with_escapes(self):
+        assert kinds("'it''s'") == [("STRING", "it's")]
+        assert kinds("''") == [("STRING", "")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_symbols_and_two_char_ops(self):
+        assert [v for _, v in kinds("<= >= <> != = < > ( ) , * ;")] == [
+            "<=", ">=", "<>", "<>", "=", "<", ">", "(", ")", ",", "*", ";",
+        ]
+
+    def test_comments_skipped(self):
+        assert kinds("SELECT -- comment here\n 1") == [
+            ("KEYWORD", "SELECT"),
+            ("NUMBER", 1),
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("SELECT @x")
+
+    def test_eof_token(self):
+        toks = tokenize("SELECT")
+        assert toks[-1].kind == "EOF"
+
+    def test_dotted_names_tokenize_separately(self):
+        assert kinds("a.b") == [
+            ("IDENT", "a"),
+            ("SYMBOL", "."),
+            ("IDENT", "b"),
+        ]
+
+    def test_number_then_dot_ident(self):
+        # "1.e" should not eat the 'e' as an exponent without digits
+        assert kinds("1.5e") == [("NUMBER", 1.5), ("IDENT", "e")]

@@ -1,0 +1,126 @@
+"""Tests for the slotted-page layout."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage import PAGE_SIZE, PageError, SlottedPage
+
+
+def fresh_page(size=PAGE_SIZE):
+    return SlottedPage.format(bytearray(size))
+
+
+class TestBasics:
+    def test_empty_page(self):
+        page = fresh_page()
+        assert page.num_slots == 0
+        assert page.live_count() == 0
+        assert list(page.records()) == []
+
+    def test_insert_and_read(self):
+        page = fresh_page()
+        s0 = page.insert(b"hello")
+        s1 = page.insert(b"world!")
+        assert (s0, s1) == (0, 1)
+        assert page.read(s0) == b"hello"
+        assert page.read(s1) == b"world!"
+
+    def test_records_iteration_order(self):
+        page = fresh_page()
+        for i in range(5):
+            page.insert(bytes([i]) * 3)
+        assert [slot for slot, _ in page.records()] == list(range(5))
+
+    def test_delete_tombstones(self):
+        page = fresh_page()
+        s = page.insert(b"x")
+        assert page.delete(s) is True
+        assert page.read(s) is None
+        assert page.delete(s) is False  # already dead
+        assert page.live_count() == 0
+        # slot numbers are never reused
+        assert page.insert(b"y") == s + 1
+
+    def test_update_in_place(self):
+        page = fresh_page()
+        s = page.insert(b"abcdef")
+        assert page.update(s, b"xyz") is True  # shrinking fits
+        assert page.read(s) == b"xyz"
+
+    def test_update_too_big_reports_false(self):
+        page = fresh_page()
+        s = page.insert(b"ab")
+        assert page.update(s, b"toolong") is False
+        assert page.read(s) == b"ab"
+
+    def test_update_deleted_raises(self):
+        page = fresh_page()
+        s = page.insert(b"ab")
+        page.delete(s)
+        with pytest.raises(PageError):
+            page.update(s, b"x")
+
+    def test_out_of_range_slot(self):
+        page = fresh_page()
+        with pytest.raises(PageError):
+            page.read(0)
+
+
+class TestCapacity:
+    def test_page_full(self):
+        page = fresh_page(256)
+        count = 0
+        while page.can_fit(16):
+            page.insert(b"r" * 16)
+            count += 1
+        assert count > 0
+        with pytest.raises(PageError):
+            page.insert(b"r" * 16)
+
+    def test_free_space_decreases(self):
+        page = fresh_page()
+        before = page.free_space()
+        page.insert(b"12345678")
+        assert page.free_space() == before - 8 - 4  # record + slot
+
+    def test_compact_reclaims_space(self):
+        page = fresh_page(512)
+        slots = [page.insert(b"x" * 40) for _ in range(8)]
+        for s in slots[::2]:
+            page.delete(s)
+        freed_before = page.free_space()
+        page.compact()
+        assert page.free_space() > freed_before
+        # survivors unchanged, same slot numbers
+        for s in slots[1::2]:
+            assert page.read(s) == b"x" * 40
+        for s in slots[::2]:
+            assert page.read(s) is None
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("insert"), st.binary(min_size=1, max_size=60)),
+            st.tuples(st.just("delete"), st.integers(0, 30)),
+        ),
+        max_size=60,
+    )
+)
+def test_model_based_ops(ops):
+    """Random insert/delete sequences match a dict model."""
+    page = fresh_page(1024)
+    model = {}
+    for op, arg in ops:
+        if op == "insert":
+            if page.can_fit(len(arg)):
+                slot = page.insert(arg)
+                model[slot] = arg
+        else:
+            if arg < page.num_slots:
+                page.delete(arg)
+                model.pop(arg, None)
+    assert dict(page.records()) == model
+    page.compact()
+    assert dict(page.records()) == model

@@ -1,0 +1,93 @@
+"""Tests for the interactive shell (python -m repro), driven via stdin."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_repl(script: str, timeout: int = 60) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro"],
+        input=script,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestRepl:
+    def test_create_insert_select(self):
+        out = run_repl(
+            "CREATE TABLE t (a INT, b TEXT);\n"
+            "INSERT INTO t VALUES (1, 'x'), (2, 'y');\n"
+            "SELECT * FROM t WHERE a = 2;\n"
+            "\\q\n"
+        )
+        assert "y" in out
+        assert "(1 rows)" in out
+
+    def test_describe(self):
+        out = run_repl(
+            "CREATE TABLE t (a INT PRIMARY KEY);\n"
+            "INSERT INTO t VALUES (1);\n"
+            "\\d\n"
+            "\\q\n"
+        )
+        assert "t: 1 rows" in out
+        assert "pk_t_a" in out
+
+    def test_timing_toggle(self):
+        out = run_repl(
+            "\\timing\n"
+            "CREATE TABLE t (a INT);\n"
+            "INSERT INTO t VALUES (1);\n"
+            "SELECT a FROM t;\n"
+            "\\q\n"
+        )
+        assert "timing on" in out
+        assert "exec" in out
+
+    def test_strategy_switch(self):
+        out = run_repl("\\strategy greedy\n\\q\n")
+        assert "strategy = greedy" in out
+        out = run_repl("\\strategy bogus\n\\q\n")
+        assert "usage:" in out
+
+    def test_multiline_statement(self):
+        out = run_repl(
+            "CREATE TABLE t (a INT);\n"
+            "INSERT INTO t\n"
+            "VALUES (41),\n"
+            "(42);\n"
+            "SELECT COUNT(*) AS n FROM t;\n"
+            "\\q\n"
+        )
+        assert "2" in out
+
+    def test_error_does_not_kill_shell(self):
+        out = run_repl(
+            "SELECT * FROM missing;\n"
+            "CREATE TABLE t (a INT);\n"
+            "INSERT INTO t VALUES (7);\n"
+            "SELECT a FROM t;\n"
+            "\\q\n"
+        )
+        assert "error:" in out
+        assert "7" in out
+
+    def test_unknown_meta(self):
+        out = run_repl("\\bogus\n\\q\n")
+        assert "unknown meta-command" in out
+
+    def test_explain_in_repl(self):
+        out = run_repl(
+            "CREATE TABLE t (a INT PRIMARY KEY);\n"
+            "INSERT INTO t VALUES (1);\n"
+            "ANALYZE t;\n"
+            "EXPLAIN SELECT a FROM t WHERE a = 1;\n"
+            "\\q\n"
+        )
+        assert "IndexScan" in out or "SeqScan" in out

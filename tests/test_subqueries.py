@@ -1,0 +1,182 @@
+"""Tests for uncorrelated subqueries (INGRES-style decomposition)."""
+
+import pytest
+
+from repro import Database
+from repro.engine import EngineError
+
+
+@pytest.fixture
+def db():
+    db = Database(buffer_pages=64, work_mem_pages=8)
+    db.execute("CREATE TABLE emp (id INT PRIMARY KEY, dept INT, salary FLOAT)")
+    db.execute("CREATE TABLE dept (id INT, name TEXT, budget FLOAT)")
+    db.insert_rows(
+        "emp",
+        [(i, i % 4, 1000.0 * (i % 10 + 1)) for i in range(40)],
+    )
+    db.insert_rows(
+        "dept",
+        [(0, "eng", 100.0), (1, "sales", 50.0), (2, "hr", 20.0), (3, "ops", 80.0)],
+    )
+    db.execute("ANALYZE")
+    return db
+
+
+class TestInSubquery:
+    def test_in_select(self, db):
+        r = db.query(
+            "SELECT id FROM emp WHERE dept IN "
+            "(SELECT id FROM dept WHERE budget > 60)"
+        )
+        assert sorted(x[0] for x in r.rows) == [
+            i for i in range(40) if i % 4 in (0, 3)
+        ]
+
+    def test_not_in_select(self, db):
+        r = db.query(
+            "SELECT id FROM emp WHERE dept NOT IN "
+            "(SELECT id FROM dept WHERE budget > 60)"
+        )
+        assert sorted(x[0] for x in r.rows) == [
+            i for i in range(40) if i % 4 in (1, 2)
+        ]
+
+    def test_in_empty_subquery(self, db):
+        r = db.query(
+            "SELECT id FROM emp WHERE dept IN "
+            "(SELECT id FROM dept WHERE budget > 9999)"
+        )
+        assert r.rows == []
+
+    def test_not_in_empty_subquery(self, db):
+        r = db.query(
+            "SELECT COUNT(*) AS n FROM emp WHERE dept NOT IN "
+            "(SELECT id FROM dept WHERE budget > 9999)"
+        )
+        assert r.rows == [(40,)]
+
+    def test_in_subquery_with_aggregate(self, db):
+        r = db.query(
+            "SELECT name FROM dept WHERE id IN "
+            "(SELECT dept FROM emp WHERE salary >= 10000 GROUP BY dept)"
+        )
+        assert len(r.rows) > 0
+
+    def test_nested_subqueries(self, db):
+        r = db.query(
+            "SELECT id FROM emp WHERE dept IN ("
+            "  SELECT id FROM dept WHERE budget > ("
+            "    SELECT MIN(budget) AS m FROM dept"
+            "  )"
+            ")"
+        )
+        # all departments except hr (budget 20 = min)
+        assert sorted({x[0] % 4 for x in r.rows}) == [0, 1, 3]
+
+
+class TestScalarSubquery:
+    def test_comparison_with_scalar(self, db):
+        r = db.query(
+            "SELECT COUNT(*) AS n FROM emp "
+            "WHERE salary > (SELECT AVG(salary) AS a FROM emp)"
+        )
+        avg = db.query("SELECT AVG(salary) AS a FROM emp").rows[0][0]
+        expected = db.query(
+            f"SELECT COUNT(*) AS n FROM emp WHERE salary > {avg}"
+        ).rows
+        assert r.rows == expected
+
+    def test_scalar_in_having(self, db):
+        r = db.query(
+            "SELECT dept, SUM(salary) AS t FROM emp GROUP BY dept "
+            "HAVING SUM(salary) > (SELECT AVG(salary) AS a FROM emp) * 8"
+        )
+        assert all(row[1] > 0 for row in r.rows)
+
+    def test_scalar_empty_is_null(self, db):
+        r = db.query(
+            "SELECT COUNT(*) AS n FROM emp "
+            "WHERE salary > (SELECT salary FROM emp WHERE id = -1)"
+        )
+        assert r.rows == [(0,)]  # NULL comparison filters everything
+
+    def test_scalar_multirow_rejected(self, db):
+        with pytest.raises(EngineError):
+            db.query(
+                "SELECT id FROM emp WHERE salary > (SELECT salary FROM emp)"
+            )
+
+    def test_scalar_multicolumn_rejected(self, db):
+        with pytest.raises(EngineError):
+            db.query(
+                "SELECT id FROM emp "
+                "WHERE salary > (SELECT id, salary FROM emp WHERE id = 1)"
+            )
+
+
+class TestExists:
+    def test_exists_true(self, db):
+        r = db.query(
+            "SELECT COUNT(*) AS n FROM emp "
+            "WHERE EXISTS (SELECT id FROM dept WHERE budget > 90)"
+        )
+        assert r.rows == [(40,)]
+
+    def test_exists_false(self, db):
+        r = db.query(
+            "SELECT COUNT(*) AS n FROM emp "
+            "WHERE EXISTS (SELECT id FROM dept WHERE budget > 9000)"
+        )
+        assert r.rows == [(0,)]
+
+    def test_not_exists(self, db):
+        r = db.query(
+            "SELECT COUNT(*) AS n FROM emp "
+            "WHERE NOT EXISTS (SELECT id FROM dept WHERE budget > 9000)"
+        )
+        assert r.rows == [(40,)]
+
+    def test_exists_combined_with_predicate(self, db):
+        r = db.query(
+            "SELECT id FROM emp WHERE id < 4 AND "
+            "EXISTS (SELECT id FROM dept WHERE name = 'eng')"
+        )
+        assert sorted(x[0] for x in r.rows) == [0, 1, 2, 3]
+
+
+class TestSubqueryInJoinCondition:
+    def test_join_on_with_subquery(self, db):
+        r = db.query(
+            "SELECT e.id FROM emp e JOIN dept d "
+            "ON e.dept = d.id AND d.budget > (SELECT MIN(budget) AS m FROM dept) "
+            "WHERE e.id < 8"
+        )
+        assert sorted(x[0] for x in r.rows) == [
+            i for i in range(8) if i % 4 != 2
+        ]
+
+
+class TestErrors:
+    def test_correlated_rejected(self, db):
+        with pytest.raises(EngineError, match="correlated|unknown"):
+            db.query(
+                "SELECT id FROM emp e WHERE salary > "
+                "(SELECT AVG(salary) AS a FROM emp x WHERE x.dept = e.dept)"
+            )
+
+    def test_in_subquery_multicolumn_rejected(self, db):
+        with pytest.raises(EngineError):
+            db.query(
+                "SELECT id FROM emp WHERE dept IN (SELECT id, name FROM dept)"
+            )
+
+
+class TestExplainWithSubquery:
+    def test_explain_decomposes(self, db):
+        text = db.explain(
+            "SELECT id FROM emp WHERE dept IN "
+            "(SELECT id FROM dept WHERE budget > 60)"
+        )
+        assert "subquery" not in text  # already substituted with literals
+        assert "IN" in text or "=" in text
