@@ -20,6 +20,7 @@ Quickstart::
 """
 
 from .engine import Database, EngineError, QueryResult
+from .obs import InstrumentLevel, MetricsRegistry, ObsConfig, QueryLog, Span, Tracer
 from .optimizer import Cost, CostModel, Planner, PlannerOptions
 from .types import DataType
 
@@ -34,5 +35,11 @@ __all__ = [
     "Planner",
     "PlannerOptions",
     "DataType",
+    "InstrumentLevel",
+    "MetricsRegistry",
+    "ObsConfig",
+    "QueryLog",
+    "Span",
+    "Tracer",
     "__version__",
 ]

@@ -6,12 +6,15 @@ with ``;``.  Meta-commands:
 * ``\\d``            — list tables (rows, pages, indexes)
 * ``\\strategy X``   — switch the join-order strategy
 * ``\\timing``       — toggle per-query metrics
+* ``\\metrics``      — dump the process-wide metrics snapshot
+* ``\\trace``        — show the last query's planner/executor span tree
 * ``\\load demo``    — load the wholesale demo schema
 * ``\\q``            — quit
 """
 
 from __future__ import annotations
 
+import json
 import sys
 
 from . import Database
@@ -76,6 +79,13 @@ def main(argv=None) -> int:
             elif command == "\\timing":
                 timing = not timing
                 print(f"timing {'on' if timing else 'off'}")
+            elif command == "\\metrics":
+                print(json.dumps(db.metrics_snapshot(), indent=2))
+            elif command == "\\trace":
+                if db.last_trace is None:
+                    print("no query traced yet")
+                else:
+                    print(db.last_trace.pretty())
             elif command == "\\strategy":
                 if len(parts) > 1 and parts[1] in STRATEGIES:
                     db.set_strategy(parts[1])

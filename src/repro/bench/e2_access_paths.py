@@ -97,17 +97,22 @@ def run(
             "seq est", "seq act",
             "clustered est", "clustered act",
             "unclustered est", "unclustered act",
+            "seq ms", "clustered ms", "unclustered ms",
         ],
+        notes="*ms* columns: per-operator actual time of the scan node "
+        "(EXPLAIN ANALYZE instrumentation)",
     )
     for fraction in fractions:
         cutoff = max(1, int(num_rows * fraction))
         act_row: List[object] = [fraction, cutoff]
         val_row: List[object] = [fraction]
         measured = {}
+        timed = {}
         for path in PATHS:
             plan = _path_plan(db, path, cutoff)
-            m = measure_plan(db, plan)
+            m = measure_plan(db, plan, analyze=True)
             measured[path] = m.actual_reads
+            timed[path] = round(plan.actual_time_ms or 0.0, 3)
             act_row.append(m.actual_reads)
         # what would the cost-based planner pick? (clustered id predicate)
         pick = db.plan(f"SELECT * FROM sweep WHERE id < {cutoff}")
@@ -117,6 +122,8 @@ def run(
         for path in PATHS:
             val_row.append(_path_estimate(db, path, cutoff, num_rows))
             val_row.append(measured[path])
+        for path in PATHS:
+            val_row.append(timed[path])
         validation.rows.append(val_row)
     return [actual, validation]
 

@@ -43,10 +43,17 @@ class Measurement:
 
 
 def measure_plan(
-    db: Database, plan: PhysicalPlan, keep_result: bool = False
+    db: Database,
+    plan: PhysicalPlan,
+    keep_result: bool = False,
+    analyze: bool = False,
 ) -> Measurement:
-    """Execute *plan* cold and compare estimates with actuals."""
-    result = db.run_plan(plan, cold=True)
+    """Execute *plan* cold and compare estimates with actuals.
+
+    ``analyze=True`` runs under FULL instrumentation, so every node of
+    *plan* carries ``actual_time_ms`` and attributed I/O afterwards.
+    """
+    result = db.run_plan(plan, cold=True, analyze=analyze)
     cost = plan.est_cost
     return Measurement(
         rows=result.rowcount,

@@ -27,6 +27,17 @@ from ..algebra import build_plan, prune_columns
 from ..catalog import Catalog, HistogramKind, IndexKind, TableInfo
 from ..executor import ExecContext, ExecMetrics, run
 from ..expr import Literal
+from ..obs import (
+    InstrumentLevel,
+    MetricsRegistry,
+    ObsConfig,
+    QueryLog,
+    QueryLogRecord,
+    Span,
+    Tracer,
+    plan_fingerprint,
+    q_error,
+)
 from ..optimizer import CostModel, Planner, PlannerOptions, PlannerStats
 from ..physical import PhysicalPlan
 from ..sql import (
@@ -44,7 +55,7 @@ from ..sql import (
     parse,
 )
 from .views import Expansion, ViewDef, ViewError, ViewExpander
-from ..storage import BufferPool, DiskManager, IOStats, Replacement
+from ..storage import BufferPool, BufferStats, DiskManager, IOStats, Replacement
 from ..types import Column, Schema
 
 
@@ -60,10 +71,12 @@ class QueryResult:
     columns: List[str]
     plan: Optional[PhysicalPlan] = None
     io: Optional[IOStats] = None
+    buffer: Optional[BufferStats] = None
     exec_metrics: Optional[ExecMetrics] = None
     planner_stats: Optional[PlannerStats] = None
     planning_seconds: float = 0.0
     execution_seconds: float = 0.0
+    trace: Optional[Span] = None
 
     @property
     def rowcount(self) -> int:
@@ -83,6 +96,7 @@ class Database:
         page_size: int = 4096,
         replacement: Replacement = Replacement.LRU,
         options: Optional[PlannerOptions] = None,
+        obs: Optional[ObsConfig] = None,
     ):
         self.disk = DiskManager(page_size)
         self.pool = BufferPool(self.disk, buffer_pages, replacement)
@@ -94,29 +108,76 @@ class Database:
         )
         self.views: Dict[str, ViewDef] = {}
         self._live_transients: List[str] = []
+        self.obs = obs or ObsConfig()
+        self.metrics = MetricsRegistry()
+        self.query_log = QueryLog(self.obs.query_log_size)
+        self.last_trace: Optional[Span] = None
 
     # -- statement dispatch ------------------------------------------------------------
 
     def execute(self, sql: str) -> QueryResult:
         """Parse and run one statement of any kind."""
-        stmt = parse(sql)
-        if isinstance(stmt, SelectStmt):
-            return self._select(stmt)
-        if isinstance(stmt, ExplainStmt):
-            if stmt.analyze:
-                result = self._select(stmt.inner)
-                text = result.plan.pretty(actuals=True)
-                text += (
-                    f"\nexecution: {result.execution_seconds * 1000:.1f} ms, "
-                    f"{result.io.reads} reads / {result.io.writes} writes, "
-                    f"{result.rowcount} rows"
-                )
+        tracer = self._new_tracer()
+        with tracer.span("query"):
+            with tracer.span("parse"):
+                stmt = parse(sql)
+            if isinstance(stmt, SelectStmt):
+                result = self._run_select(stmt, sql=sql, tracer=tracer)
+            elif isinstance(stmt, ExplainStmt):
+                result = self._explain(stmt, sql, tracer)
             else:
-                text = self.explain_stmt(stmt.inner)
+                return self._execute_other(stmt, sql)
+        if tracer.root is not None:
+            result.trace = tracer.root
+            self.last_trace = tracer.root
+        return result
+
+    def _explain(
+        self, stmt: ExplainStmt, sql: str, tracer: Tracer
+    ) -> QueryResult:
+        """EXPLAIN [ANALYZE]: render the plan (with actuals when executed),
+        keeping the planning/execution metadata on the result."""
+        if stmt.analyze:
+            inner = self._run_select(
+                stmt.inner, sql=sql, tracer=tracer, analyze=True
+            )
+            text = inner.plan.pretty(actuals=True)
+            text += (
+                f"\nplanning: {inner.planning_seconds * 1000:.1f} ms"
+                f"\nexecution: {inner.execution_seconds * 1000:.1f} ms, "
+                f"{inner.io.reads} reads / {inner.io.writes} writes, "
+                f"{inner.rowcount} rows"
+            )
             return QueryResult(
                 rows=[(line,) for line in text.splitlines()],
                 columns=["plan"],
+                plan=inner.plan,
+                io=inner.io,
+                buffer=inner.buffer,
+                exec_metrics=inner.exec_metrics,
+                planner_stats=inner.planner_stats,
+                planning_seconds=inner.planning_seconds,
+                execution_seconds=inner.execution_seconds,
             )
+        start = time.perf_counter()
+        before = len(self._live_transients)
+        try:
+            with tracer.span("plan"):
+                physical, pstats = self.plan_select(stmt.inner, tracer=tracer)
+            text = physical.pretty()
+        finally:
+            self._drop_transients_from(before)
+        planning = time.perf_counter() - start
+        return QueryResult(
+            rows=[(line,) for line in text.splitlines()],
+            columns=["plan"],
+            plan=physical,
+            planner_stats=pstats,
+            planning_seconds=planning,
+        )
+
+    def _execute_other(self, stmt: Any, sql: str) -> QueryResult:
+        """DDL / DML / utility statements (everything but SELECT/EXPLAIN)."""
         if isinstance(stmt, CreateTableStmt):
             schema = Schema(
                 Column(c.name, c.dtype, stmt.table, c.nullable)
@@ -172,24 +233,46 @@ class Database:
 
     def query(self, sql: str) -> QueryResult:
         """Run a SELECT and return rows + metrics."""
-        stmt = parse(sql)
-        if not isinstance(stmt, SelectStmt):
-            raise EngineError("query() expects a SELECT; use execute()")
-        return self._select(stmt)
+        tracer = self._new_tracer()
+        with tracer.span("query"):
+            with tracer.span("parse"):
+                stmt = parse(sql)
+            if not isinstance(stmt, SelectStmt):
+                raise EngineError("query() expects a SELECT; use execute()")
+            result = self._run_select(stmt, sql=sql, tracer=tracer)
+        if tracer.root is not None:
+            result.trace = tracer.root
+            self.last_trace = tracer.root
+        return result
 
     # -- planning ---------------------------------------------------------------------------
 
-    def plan_select(self, stmt: SelectStmt) -> Tuple[PhysicalPlan, PlannerStats]:
+    def plan_select(
+        self, stmt: SelectStmt, tracer: Optional[Tracer] = None
+    ) -> Tuple[PhysicalPlan, PlannerStats]:
         """Plan a SELECT.  Views referenced by *stmt* are expanded here; a
-        non-mergeable view is materialized into a transient table that
-        lives until the query that created it finishes (``_select`` drops
-        it; direct ``plan()`` callers on such queries own the cleanup via
-        :meth:`drop_transients`)."""
-        expansion = self._expand_views(stmt)
+        non-mergeable view is materialized into a transient table that the
+        statement owning the planning drops when it finishes (``_run_select``,
+        ``plan`` and ``explain_stmt`` all clean up after themselves; direct
+        callers own the cleanup via :meth:`drop_transients`)."""
+        tracer = tracer or Tracer(enabled=False)
+        with tracer.span("view_expansion") as span:
+            expansion = self._expand_views(stmt)
+            if expansion.transient_tables:
+                span.add("views_materialized", len(expansion.transient_tables))
         self._live_transients.extend(expansion.transient_tables)
-        stmt = self._decompose_subqueries(expansion.stmt)
+        with tracer.span("decorrelation") as span:
+            before = len(self._live_transients)
+            stmt = self._decompose_subqueries(expansion.stmt)
+            if len(self._live_transients) > before:
+                span.add(
+                    "subqueries_decorrelated",
+                    len(self._live_transients) - before,
+                )
         logical = build_plan(stmt, self.catalog)
-        planner = Planner(self.catalog, self.model, self.options)
+        planner = Planner(
+            self.catalog, self.model, self.options, tracer=tracer
+        )
         physical = planner.plan_logical(logical)
         return physical, planner.last_stats or PlannerStats()
 
@@ -250,10 +333,16 @@ class Database:
 
     def drop_transients(self) -> None:
         """Drop transient tables left over from planning view queries."""
-        for name in self._live_transients:
+        self._drop_transients_from(0)
+
+    def _drop_transients_from(self, before: int) -> None:
+        """Drop the transients registered past index *before* — the ones
+        the current statement created."""
+        mine = self._live_transients[before:]
+        del self._live_transients[before:]
+        for name in mine:
             if self.catalog.has_table(name):
                 self.catalog.drop_table(name)
-        self._live_transients = []
 
     # -- subquery decomposition (INGRES-style) ----------------------------------------
 
@@ -517,26 +606,44 @@ class Database:
             stmt = stmt.inner
         if not isinstance(stmt, SelectStmt):
             raise EngineError("plan() expects a SELECT")
-        return self.plan_select(stmt)[0]
+        before = len(self._live_transients)
+        try:
+            return self.plan_select(stmt)[0]
+        finally:
+            self._drop_transients_from(before)
 
     def explain(self, sql: str) -> str:
         return self.plan(sql).pretty()
 
     def explain_stmt(self, stmt: SelectStmt) -> str:
-        return self.plan_select(stmt)[0].pretty()
+        before = len(self._live_transients)
+        try:
+            return self.plan_select(stmt)[0].pretty()
+        finally:
+            self._drop_transients_from(before)
 
     # -- execution ---------------------------------------------------------------------------
 
-    def run_plan(self, physical: PhysicalPlan, cold: bool = False) -> QueryResult:
+    def run_plan(
+        self,
+        physical: PhysicalPlan,
+        cold: bool = False,
+        analyze: bool = False,
+    ) -> QueryResult:
         """Execute an already-built physical plan, measuring real I/O.
 
         ``cold=True`` clears the buffer pool first so the run pays full
         page-fetch costs (what the experiments usually want).
+        ``analyze=True`` forces FULL instrumentation (per-operator timing
+        and attributed buffer/disk counters) regardless of the configured
+        default level.
         """
         if cold:
             self.pool.clear()
-        before = self.disk.stats.snapshot()
-        ctx = ExecContext(self.pool, self.work_mem_pages)
+        before_io = self.disk.stats.snapshot()
+        before_buf = self.pool.stats.snapshot()
+        level = InstrumentLevel.FULL if analyze else self.obs.instrument
+        ctx = ExecContext(self.pool, self.work_mem_pages, instrument=level)
         start = time.perf_counter()
         rows = run(physical, ctx)
         elapsed = time.perf_counter() - start
@@ -544,28 +651,117 @@ class Database:
             rows=rows,
             columns=physical.schema.names(),
             plan=physical,
-            io=self.disk.stats.delta(before),
+            io=self.disk.stats.delta(before_io),
+            buffer=self.pool.stats.delta(before_buf),
             exec_metrics=ctx.metrics,
             execution_seconds=elapsed,
         )
 
+    def _new_tracer(self) -> Tracer:
+        return Tracer(enabled=self.obs.trace)
+
     def _select(self, stmt: SelectStmt) -> QueryResult:
+        """Plan + run a SELECT under its own trace (internal entry point:
+        view materialization, subquery substitution, tests)."""
+        tracer = self._new_tracer()
+        with tracer.span("query"):
+            result = self._run_select(stmt, tracer=tracer)
+        if tracer.root is not None:
+            result.trace = tracer.root
+            self.last_trace = tracer.root
+        return result
+
+    def _run_select(
+        self,
+        stmt: SelectStmt,
+        sql: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
+        analyze: bool = False,
+    ) -> QueryResult:
+        tracer = tracer or Tracer(enabled=False)
         start = time.perf_counter()
         before_transients = len(self._live_transients)
-        physical, pstats = self.plan_select(stmt)
-        planning = time.perf_counter() - start
         try:
-            result = self.run_plan(physical)
+            with tracer.span("plan"):
+                physical, pstats = self.plan_select(stmt, tracer=tracer)
+            planning = time.perf_counter() - start
+            with tracer.span("execute"):
+                result = self.run_plan(physical, analyze=analyze)
         finally:
             # transient tables created for THIS statement's views
-            mine = self._live_transients[before_transients:]
-            del self._live_transients[before_transients:]
-            for name in mine:
-                if self.catalog.has_table(name):
-                    self.catalog.drop_table(name)
+            self._drop_transients_from(before_transients)
         result.planner_stats = pstats
         result.planning_seconds = planning
+        self._record_query(sql, physical, result)
         return result
+
+    def _record_query(
+        self, sql: Optional[str], physical: PhysicalPlan, result: QueryResult
+    ) -> None:
+        """Feed one finished SELECT into the metrics registry and (for
+        user-issued statements, ``sql is not None``) the query log."""
+        if self.obs.metrics:
+            m = self.metrics
+            m.counter("queries_total").inc()
+            m.histogram("planning_ms").observe(result.planning_seconds * 1000.0)
+            m.histogram("execution_ms").observe(
+                result.execution_seconds * 1000.0
+            )
+            m.counter("rows_returned_total").inc(result.rowcount)
+            if result.io is not None:
+                m.counter("pages_read_total").inc(result.io.reads)
+                m.counter("pages_written_total").inc(result.io.writes)
+            if result.exec_metrics is not None:
+                m.counter("spills_total").inc(result.exec_metrics.spills)
+                m.counter("temp_files_total").inc(
+                    result.exec_metrics.temp_files
+                )
+            m.gauge("buffer_hit_ratio").set(self.pool.stats.hit_rate)
+        if sql is not None and self.query_log.capacity > 0:
+            self.query_log.record(
+                QueryLogRecord(
+                    sql=sql,
+                    fingerprint=plan_fingerprint(physical),
+                    est_rows=physical.est_rows,
+                    actual_rows=result.rowcount,
+                    q_error=q_error(physical.est_rows, float(result.rowcount)),
+                    est_cost=physical.total_est_cost(),
+                    actual_reads=result.io.reads if result.io else 0,
+                    actual_writes=result.io.writes if result.io else 0,
+                    planning_ms=result.planning_seconds * 1000.0,
+                    execution_ms=result.execution_seconds * 1000.0,
+                    spills=(
+                        result.exec_metrics.spills if result.exec_metrics else 0
+                    ),
+                    temp_files=(
+                        result.exec_metrics.temp_files
+                        if result.exec_metrics
+                        else 0
+                    ),
+                )
+            )
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Process-wide observability snapshot: registry instruments plus
+        the storage layer's cumulative counters (JSON-safe)."""
+        snap: Dict[str, Any] = self.metrics.snapshot()
+        bstats = self.pool.stats
+        snap["buffer_pool"] = {
+            "hits": bstats.hits,
+            "misses": bstats.misses,
+            "evictions": bstats.evictions,
+            "dirty_writebacks": bstats.dirty_writebacks,
+            "hit_rate": bstats.hit_rate,
+        }
+        dstats = self.disk.stats
+        snap["disk"] = {
+            "reads": dstats.reads,
+            "writes": dstats.writes,
+            "seq_reads": dstats.seq_reads,
+            "allocations": dstats.allocations,
+        }
+        snap["query_log_entries"] = len(self.query_log)
+        return snap
 
     def _insert(self, stmt: InsertStmt) -> int:
         info = self.catalog.table(stmt.table)

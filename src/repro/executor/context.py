@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator, List, Sequence, Tuple
 
+from ..obs import InstrumentLevel
 from ..storage import BufferPool, HeapFile, IOStats
 from ..types import Schema
 
@@ -30,11 +31,17 @@ class ExecMetrics:
 class ExecContext:
     """Shared state for one query execution."""
 
-    def __init__(self, pool: BufferPool, work_mem_pages: int = 64):
+    def __init__(
+        self,
+        pool: BufferPool,
+        work_mem_pages: int = 64,
+        instrument: InstrumentLevel = InstrumentLevel.ROWS,
+    ):
         if work_mem_pages < 3:
             raise ValueError("work memory must be at least 3 pages")
         self.pool = pool
         self.work_mem_pages = work_mem_pages
+        self.instrument = instrument
         self.metrics = ExecMetrics()
         self._temp_counter = 0
         self._temp_files: List[HeapFile] = []

@@ -4,15 +4,26 @@
 access goes through the buffer pool, so I/O counters reflect real behaviour
 (including temp-file spill from sorts, hash joins and block nested loops).
 
-``run(plan, ctx)`` drains the iterator, records per-node actual row counts
-(for EXPLAIN ANALYZE-style output and the cost-validation experiments) and
-cleans up temp files.
+``run(plan, ctx)`` drains the iterator, annotating per-node actuals (for
+EXPLAIN ANALYZE-style output and the cost-validation experiments) and
+cleans up temp files.  How much is measured follows
+``ctx.instrument`` (:class:`repro.obs.InstrumentLevel`):
+
+* ``OFF``  — bare iteration, no annotation;
+* ``ROWS`` — actual row and loop counts (the cheap default);
+* ``FULL`` — additionally times every ``next()`` call and attributes the
+  buffer-pool hits and disk reads/writes that happened inside it to the
+  operator (inclusive of its children, PostgreSQL-style) — the level
+  ``EXPLAIN ANALYZE`` runs at.
 """
 
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from ..obs import InstrumentLevel
 
 from ..expr import compile_expr, compile_predicate
 from ..physical import (
@@ -53,10 +64,10 @@ def execute(plan: PhysicalPlan, ctx: ExecContext) -> Iterator[Row]:
 
 
 def run(plan: PhysicalPlan, ctx: ExecContext) -> List[Row]:
-    """Execute to completion, annotating actual row counts on every node."""
+    """Execute to completion, annotating actuals on every node."""
     _reset_actuals(plan)
     try:
-        rows = list(_counted(plan, execute(plan, ctx)))
+        rows = list(_counted(plan, execute(plan, ctx), ctx))
     finally:
         ctx.cleanup()
     ctx.metrics.rows_emitted += len(rows)
@@ -64,21 +75,87 @@ def run(plan: PhysicalPlan, ctx: ExecContext) -> List[Row]:
 
 
 def _reset_actuals(plan: PhysicalPlan) -> None:
-    plan.actual_rows = 0
+    plan.actual_rows = None  # wrappers fill it in (stays None at OFF)
+    plan.actual_loops = 0
+    plan.actual_time_ms = None
+    plan.actual_hits = None
+    plan.actual_reads = None
+    plan.actual_writes = None
     if isinstance(plan, PMaterialize) and hasattr(plan, "_cache"):
         del plan._cache
     for child in plan.children():
         _reset_actuals(child)
 
 
-def _counted(plan: PhysicalPlan, rows: Iterator[Row]) -> Iterator[Row]:
-    """Count rows through a node.  Accumulates across rescans (a nested
-    loop's inner side runs once per outer block)."""
+def _counted(
+    plan: PhysicalPlan, rows: Iterator[Row], ctx: ExecContext
+) -> Iterator[Row]:
+    """Wrap a node's iterator with the measurement the context asks for."""
+    level = ctx.instrument
+    if level is InstrumentLevel.ROWS:
+        return _row_counted(plan, rows)
+    if level is InstrumentLevel.OFF:
+        return rows
+    return _instrumented(plan, rows, ctx)
+
+
+def _row_counted(plan: PhysicalPlan, rows: Iterator[Row]) -> Iterator[Row]:
+    """Count rows and loops through a node.  Accumulates across rescans (a
+    nested loop's inner side runs once per outer block)."""
+    plan.actual_loops += 1
     count = 0
     for row in rows:
         count += 1
         yield row
     plan.actual_rows = (plan.actual_rows or 0) + count
+
+
+def _instrumented(
+    plan: PhysicalPlan, rows: Iterator[Row], ctx: ExecContext
+) -> Iterator[Row]:
+    """FULL-level wrapper: per-``next()`` wall-clock and attributed I/O.
+
+    Each interval between entering and leaving ``next(rows)`` belongs to
+    this operator (and, inclusively, its children — their iterators only
+    advance inside it).  Buffer/disk counter deltas over the interval give
+    the attributed hits/reads/writes; work a *sibling* does between this
+    node's calls is never charged here.  Totals accumulate across rescans;
+    partial results are recorded even when the consumer abandons the
+    iterator early (LIMIT) or an operator raises.
+    """
+    plan.actual_loops += 1
+    bstats = ctx.pool.stats
+    dstats = ctx.pool.disk.stats
+    perf = time.perf_counter
+    count = 0
+    total_s = 0.0
+    hits = reads = writes = 0
+    try:
+        while True:
+            h0 = bstats.hits
+            r0 = dstats.reads
+            w0 = dstats.writes
+            t0 = perf()
+            try:
+                row = next(rows)
+            except StopIteration:
+                total_s += perf() - t0
+                hits += bstats.hits - h0
+                reads += dstats.reads - r0
+                writes += dstats.writes - w0
+                break
+            total_s += perf() - t0
+            hits += bstats.hits - h0
+            reads += dstats.reads - r0
+            writes += dstats.writes - w0
+            count += 1
+            yield row
+    finally:
+        plan.actual_rows = (plan.actual_rows or 0) + count
+        plan.actual_time_ms = (plan.actual_time_ms or 0.0) + total_s * 1000.0
+        plan.actual_hits = (plan.actual_hits or 0) + hits
+        plan.actual_reads = (plan.actual_reads or 0) + reads
+        plan.actual_writes = (plan.actual_writes or 0) + writes
 
 
 # -- scans ------------------------------------------------------------------------
@@ -141,20 +218,20 @@ def _index_only_scan(plan: PIndexOnlyScan, ctx: ExecContext) -> Iterator[Row]:
 
 def _filter(plan: PFilter, ctx: ExecContext) -> Iterator[Row]:
     predicate = compile_predicate(plan.predicate, plan.child.schema)
-    for row in _counted(plan.child, execute(plan.child, ctx)):
+    for row in _counted(plan.child, execute(plan.child, ctx), ctx):
         if predicate(row):
             yield row
 
 
 def _project(plan: PProject, ctx: ExecContext) -> Iterator[Row]:
     fns = [compile_expr(e, plan.child.schema) for e in plan.exprs]
-    for row in _counted(plan.child, execute(plan.child, ctx)):
+    for row in _counted(plan.child, execute(plan.child, ctx), ctx):
         yield tuple(fn(row) for fn in fns)
 
 
 def _narrow(plan: PNarrow, ctx: ExecContext) -> Iterator[Row]:
     positions = plan.positions
-    for row in _counted(plan.child, execute(plan.child, ctx)):
+    for row in _counted(plan.child, execute(plan.child, ctx), ctx):
         yield tuple(row[i] for i in positions)
 
 
@@ -162,7 +239,7 @@ def _limit(plan: PLimit, ctx: ExecContext) -> Iterator[Row]:
     if plan.count <= 0:
         return
     emitted = 0
-    for row in _counted(plan.child, execute(plan.child, ctx)):
+    for row in _counted(plan.child, execute(plan.child, ctx), ctx):
         yield row
         emitted += 1
         if emitted >= plan.count:
@@ -172,7 +249,7 @@ def _limit(plan: PLimit, ctx: ExecContext) -> Iterator[Row]:
 def _materialize(plan: PMaterialize, ctx: ExecContext) -> Iterator[Row]:
     cached = getattr(plan, "_cache", None)
     if cached is None:
-        cached = list(_counted(plan.child, execute(plan.child, ctx)))
+        cached = list(_counted(plan.child, execute(plan.child, ctx), ctx))
         plan._cache = cached
     return iter(cached)
 
@@ -187,14 +264,14 @@ def _nested_loop(plan: PNestedLoopJoin, ctx: ExecContext) -> Iterator[Row]:
         else None
     )
     block_rows = ctx.max_rows_in_memory(plan.left.schema, plan.block_pages)
-    outer = _counted(plan.left, execute(plan.left, ctx))
+    outer = _counted(plan.left, execute(plan.left, ctx), ctx)
     block: List[Row] = []
 
     def flush() -> Iterator[Row]:
         if not block:
             return
         # one pass over the inner per outer block
-        for inner_row in _counted(plan.right, execute(plan.right, ctx)):
+        for inner_row in _counted(plan.right, execute(plan.right, ctx), ctx):
             for outer_row in block:
                 ctx.metrics.comparisons += 1
                 combined = outer_row + inner_row
@@ -221,7 +298,7 @@ def _index_nl(plan: PIndexNLJoin, ctx: ExecContext) -> Iterator[Row]:
     composite = getattr(index, "is_composite", False)
     if composite:
         from ..index.keys import MAX_KEY, MIN_KEY
-    for outer_row in _counted(plan.left, execute(plan.left, ctx)):
+    for outer_row in _counted(plan.left, execute(plan.left, ctx), ctx):
         key = key_fn(outer_row)
         if key is None:
             continue
@@ -254,8 +331,8 @@ def _merge_join(plan: PSortMergeJoin, ctx: ExecContext) -> Iterator[Row]:
         if plan.residual is not None
         else None
     )
-    left = _counted(plan.left, execute(plan.left, ctx))
-    right = _counted(plan.right, execute(plan.right, ctx))
+    left = _counted(plan.left, execute(plan.left, ctx), ctx)
+    right = _counted(plan.right, execute(plan.right, ctx), ctx)
 
     lrow = next(left, None)
     rrow = next(right, None)
@@ -303,7 +380,7 @@ def _hash_join(plan: PHashJoin, ctx: ExecContext) -> Iterator[Row]:
     table: dict = {}
     build_rows: List[Row] = []
     overflow = False
-    build_iter = _counted(plan.right, execute(plan.right, ctx))
+    build_iter = _counted(plan.right, execute(plan.right, ctx), ctx)
     for row in build_iter:
         build_rows.append(row)
         if len(build_rows) > max_build:
@@ -316,7 +393,7 @@ def _hash_join(plan: PHashJoin, ctx: ExecContext) -> Iterator[Row]:
             if key is None:
                 continue
             table.setdefault(key, []).append(row)
-        for lrow in _counted(plan.left, execute(plan.left, ctx)):
+        for lrow in _counted(plan.left, execute(plan.left, ctx), ctx):
             key = left_key(lrow)
             if key is None:
                 continue
@@ -336,7 +413,7 @@ def _hash_join(plan: PHashJoin, ctx: ExecContext) -> Iterator[Row]:
     for row in build_iter:  # rest of the build side
         _partition_insert(right_parts, right_key(row), row, fanout)
     left_parts = [ctx.create_temp(plan.left.schema) for _ in range(fanout)]
-    for row in _counted(plan.left, execute(plan.left, ctx)):
+    for row in _counted(plan.left, execute(plan.left, ctx), ctx):
         _partition_insert(left_parts, left_key(row), row, fanout)
     ctx.metrics.spills += 1
 
@@ -385,7 +462,7 @@ def _sort(plan: PSort, ctx: ExecContext) -> Iterator[Row]:
 
     runs = []
     buffer: List[Row] = []
-    for row in _counted(plan.child, execute(plan.child, ctx)):
+    for row in _counted(plan.child, execute(plan.child, ctx), ctx):
         buffer.append(row)
         if len(buffer) >= max_rows:
             buffer.sort(key=key_fn)
@@ -431,7 +508,7 @@ def _aggregate(plan: PAggregate, ctx: ExecContext) -> Iterator[Row]:
     child_schema = plan.child.schema
     state = AggregateState(plan.aggs, child_schema)
     key_fn = compile_group_key(plan.group_exprs, child_schema)
-    rows = _counted(plan.child, execute(plan.child, ctx))
+    rows = _counted(plan.child, execute(plan.child, ctx), ctx)
 
     if plan.streaming and plan.group_exprs:
         current_key: Optional[Tuple[Any, ...]] = None
@@ -471,7 +548,7 @@ def _aggregate(plan: PAggregate, ctx: ExecContext) -> Iterator[Row]:
 
 def _distinct(plan: PDistinct, ctx: ExecContext) -> Iterator[Row]:
     seen = set()
-    for row in _counted(plan.child, execute(plan.child, ctx)):
+    for row in _counted(plan.child, execute(plan.child, ctx), ctx):
         if row not in seen:
             seen.add(row)
             yield row

@@ -1,0 +1,41 @@
+"""Query-lifecycle observability: instrumentation, tracing, metrics, log.
+
+The pieces (all engine-independent; the engine threads them through):
+
+* :class:`InstrumentLevel` / :class:`ObsConfig` — measurement depth and
+  which subsystems are live (``config``).
+* :class:`Tracer` / :class:`Span` — planner/query span trees with JSON
+  round-tripping (``trace``).
+* :class:`MetricsRegistry` — process-wide counters, gauges, latency
+  histograms (``metrics``).
+* :class:`QueryLog` / :func:`plan_fingerprint` — the per-query feedback
+  store: est vs. actual cardinality, cost, latency (``querylog``).
+"""
+
+from .config import InstrumentLevel, ObsConfig
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .querylog import QueryLog, QueryLogRecord, plan_fingerprint, q_error
+from .trace import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "InstrumentLevel",
+    "ObsConfig",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "QueryLog",
+    "QueryLogRecord",
+    "plan_fingerprint",
+    "q_error",
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+]

@@ -1,0 +1,53 @@
+"""Observability configuration: what the engine records, and how deeply.
+
+Two independent dials:
+
+* :class:`InstrumentLevel` — how much the executor measures per operator.
+  ``ROWS`` (the default) annotates actual row counts and loop counts, the
+  historical behaviour of this engine.  ``FULL`` additionally times every
+  ``next()`` call and attributes buffer/disk traffic to the operator that
+  caused it — what ``EXPLAIN ANALYZE`` uses.  ``OFF`` runs the bare
+  iterator tree with zero bookkeeping.
+* :class:`ObsConfig` — which subsystems are live on a
+  :class:`~repro.engine.Database`: planner span tracing, the metrics
+  registry, and the structured query log.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class InstrumentLevel(enum.IntEnum):
+    """Per-operator measurement depth for one execution."""
+
+    OFF = 0  # no per-node annotation at all
+    ROWS = 1  # actual_rows + actual_loops (cheap; the default)
+    FULL = 2  # + per-next() timing and attributed buffer/disk I/O
+
+
+@dataclass
+class ObsConfig:
+    """Which observability subsystems a Database keeps live.
+
+    The defaults are cheap enough to leave on: tracing adds a handful of
+    clock reads per query, metrics a few dict updates.  ``ObsConfig.off()``
+    restores the uninstrumented baseline (row counting stays on — plan
+    actuals predate this subsystem and the experiments rely on them).
+    """
+
+    trace: bool = True
+    metrics: bool = True
+    query_log_size: int = 256
+    instrument: InstrumentLevel = InstrumentLevel.ROWS
+
+    @classmethod
+    def off(cls) -> "ObsConfig":
+        """Disable tracing, metrics and the query log."""
+        return cls(
+            trace=False,
+            metrics=False,
+            query_log_size=0,
+            instrument=InstrumentLevel.ROWS,
+        )

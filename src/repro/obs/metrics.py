@@ -1,0 +1,178 @@
+"""Process-wide metrics: counters, gauges and histograms by name.
+
+A :class:`MetricsRegistry` is a flat namespace of lazily-created
+instruments::
+
+    reg = MetricsRegistry()
+    reg.counter("queries_total").inc()
+    reg.histogram("planning_ms").observe(1.7)
+    reg.gauge("buffer_hit_ratio").set(0.93)
+    snap = reg.snapshot()   # plain dicts, JSON-safe
+
+Histograms use fixed bucket upper bounds (default: a log-ish ladder in
+milliseconds) plus exact count/sum/min/max, so percentile estimates come
+from bucket interpolation-free upper bounds — coarse but allocation-free
+and stable under heavy traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram ladder (latencies in milliseconds).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket distribution with exact count/sum/min/max."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Upper bound of the bucket holding the p-th percentile
+        observation (p in [0, 1]).  Exact max for the overflow bucket."""
+        if not self.count:
+            return 0.0
+        target = max(1, math.ceil(p * self.count))
+        seen = 0
+        for i, n in enumerate(self.bucket_counts):
+            seen += n
+            if seen >= target:
+                if i < len(self.bounds):
+                    return self.bounds[i]
+                return self.max
+        return self.max  # pragma: no cover - unreachable
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter()
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge()
+        return inst
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(
+                buckets if buckets is not None else DEFAULT_BUCKETS
+            )
+        return inst
+
+    def names(self) -> List[str]:
+        return sorted(
+            list(self._counters)
+            + list(self._gauges)
+            + list(self._histograms)
+        )
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Plain-dict view of every instrument (JSON-safe)."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.snapshot()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

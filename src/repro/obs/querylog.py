@@ -1,0 +1,112 @@
+"""Structured query log: the per-query feedback record.
+
+Every user-facing SELECT leaves one :class:`QueryLogRecord` in a bounded
+ring buffer: the SQL text, a structural *plan fingerprint* (stable across
+literal changes), estimated vs. actual cardinality and the resulting
+q-error, modeled cost vs. measured I/O, and planning/execution latency.
+
+This is the feedback store estimator-correction work needs: group records
+by fingerprint, compare ``est_rows`` with ``actual_rows``, and you have
+the classic observed-cardinality training signal without rerunning
+anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from dataclasses import asdict, dataclass
+from typing import Any, Deque, Dict, List, Optional
+
+
+def q_error(estimated: float, actual: float) -> float:
+    """The standard cardinality-estimation error metric (≥ 1)."""
+    est = max(estimated, 1.0)
+    act = max(actual, 1.0)
+    return max(est / act, act / est)
+
+
+def plan_fingerprint(plan: Any) -> str:
+    """Structural hash of a physical plan: operator kinds, shapes, and the
+    tables/indexes they touch — but not predicate literals, so the same
+    plan shape for different constants shares a fingerprint."""
+    parts: List[str] = []
+
+    def visit(node: Any, depth: int) -> None:
+        label = type(node).__name__
+        table = getattr(node, "table", None)
+        if table is not None:
+            label += f":{getattr(table, 'name', table)}"
+        index = getattr(node, "index", None)
+        if index is not None:
+            label += f":{getattr(index, 'name', index)}"
+        parts.append(f"{depth}/{label}")
+        for child in node.children():
+            visit(child, depth + 1)
+
+    visit(plan, 0)
+    return hashlib.sha1("|".join(parts).encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class QueryLogRecord:
+    """One executed query's feedback row."""
+
+    sql: str
+    fingerprint: str
+    est_rows: float
+    actual_rows: int
+    q_error: float
+    est_cost: float
+    actual_reads: int
+    actual_writes: int
+    planning_ms: float
+    execution_ms: float
+    spills: int = 0
+    temp_files: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+class QueryLog:
+    """Bounded ring of :class:`QueryLogRecord`; capacity 0 disables it."""
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self._records: Deque[QueryLogRecord] = deque(
+            maxlen=capacity if capacity > 0 else 1
+        )
+
+    def record(self, entry: QueryLogRecord) -> None:
+        if self.capacity > 0:
+            self._records.append(entry)
+
+    def __len__(self) -> int:
+        return len(self._records) if self.capacity > 0 else 0
+
+    def entries(self) -> List[QueryLogRecord]:
+        return list(self._records) if self.capacity > 0 else []
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [r.as_dict() for r in self.entries()]
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.as_dicts(), indent=indent)
+
+    def worst_estimates(self, n: int = 10) -> List[QueryLogRecord]:
+        """The n records with the largest cardinality q-error — where the
+        estimator most needs correcting."""
+        return sorted(
+            self.entries(), key=lambda r: r.q_error, reverse=True
+        )[:n]
+
+    def by_fingerprint(self) -> Dict[str, List[QueryLogRecord]]:
+        out: Dict[str, List[QueryLogRecord]] = {}
+        for entry in self.entries():
+            out.setdefault(entry.fingerprint, []).append(entry)
+        return out
+
+    def clear(self) -> None:
+        self._records.clear()

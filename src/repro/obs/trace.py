@@ -1,0 +1,174 @@
+"""Lightweight span trees for tracing the planner and query lifecycle.
+
+A :class:`Tracer` records a tree of named :class:`Span`\\ s — one per
+pipeline phase (parse → view expansion → decorrelation → rewrite → join
+enumeration → costing → execute) — each with a start offset, a duration,
+and a free-form counter map (plans considered, rewrites fired, ...).
+
+Spans nest by dynamic scope::
+
+    tracer = Tracer()
+    with tracer.span("query"):
+        with tracer.span("plan") as sp:
+            sp.add("plans_considered", 42)
+    root = tracer.root            # the finished tree
+    text = root.to_json()         # round-trips via Span.from_json
+
+Every child's interval lies inside its parent's, measured with the same
+clock, so the sum of child durations never exceeds the parent duration.
+A disabled tracer costs one attribute check per ``span()`` call and
+records nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed phase: offset + duration (ms), counters, children."""
+
+    __slots__ = ("name", "start_ms", "duration_ms", "counters", "children")
+
+    def __init__(self, name: str, start_ms: float = 0.0):
+        self.name = name
+        self.start_ms = start_ms
+        self.duration_ms = 0.0
+        self.counters: Dict[str, float] = {}
+        self.children: List["Span"] = []
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        """Accumulate a counter on this span."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def find(self, name: str) -> Optional["Span"]:
+        """Depth-first search for the first span named *name*."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            hit = child.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def child_time_ms(self) -> float:
+        return sum(c.duration_ms for c in self.children)
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "start_ms": self.start_ms,
+            "duration_ms": self.duration_ms,
+        }
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        span = cls(data["name"], data.get("start_ms", 0.0))
+        span.duration_ms = data.get("duration_ms", 0.0)
+        span.counters = dict(data.get("counters", {}))
+        span.children = [cls.from_dict(c) for c in data.get("children", [])]
+        return span
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Span":
+        return cls.from_dict(json.loads(text))
+
+    def pretty(self, indent: int = 0) -> str:
+        counters = (
+            "  " + " ".join(f"{k}={v:g}" for k, v in self.counters.items())
+            if self.counters
+            else ""
+        )
+        lines = [
+            "  " * indent
+            + f"{self.name}: {self.duration_ms:.3f} ms{counters}"
+        ]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.duration_ms:.3f}ms, "
+            f"{len(self.children)} children)"
+        )
+
+
+class _NullSpan:
+    """Shared sink for disabled tracers: accepts counters, keeps nothing."""
+
+    __slots__ = ()
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Builds one span tree per traced activity.
+
+    The first ``span()`` entered becomes the root; later spans nest under
+    whichever span is currently open.  ``root`` stays valid (and keeps
+    being filled in) until the outermost span exits.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.root: Optional[Span] = None
+        self._stack: List[Span] = []
+        self._t0 = 0.0
+
+    @contextmanager
+    def span(self, name: str):
+        if not self.enabled:
+            yield NULL_SPAN
+            return
+        now = time.perf_counter()
+        if self.root is None:
+            self._t0 = now
+        span = Span(name, (now - self._t0) * 1000.0)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        elif self.root is None:
+            self.root = span
+        else:
+            # a second top-level span: keep the tree connected
+            self.root.children.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span.duration_ms = (
+                (time.perf_counter() - self._t0) * 1000.0 - span.start_ms
+            )
+
+    def current(self):
+        """The innermost open span (NULL_SPAN when disabled or idle)."""
+        if self.enabled and self._stack:
+            return self._stack[-1]
+        return NULL_SPAN
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        """Counter on the innermost open span."""
+        self.current().add(name, value)

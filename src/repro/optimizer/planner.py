@@ -43,6 +43,7 @@ from ..algebra import (
 )
 from ..catalog import Catalog
 from ..expr import ColumnRef, Expr, conjoin, infer_expr_type
+from ..obs import Tracer
 from ..physical import (
     PAggregate,
     PDistinct,
@@ -194,22 +195,26 @@ class Planner:
         catalog: Catalog,
         model: Optional[CostModel] = None,
         options: Optional[PlannerOptions] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.catalog = catalog
         self.model = model or CostModel()
         self.options = options or PlannerOptions()
         self.page_size = catalog.pool.disk.page_size
         self.last_stats: Optional[PlannerStats] = None
+        self.tracer = tracer or Tracer(enabled=False)
 
     # -- entry points ---------------------------------------------------------------
 
     def plan_logical(self, plan: LogicalPlan) -> PhysicalPlan:
         if self.options.pushdown:
-            plan = push_down_predicates(plan)
+            with self.tracer.span("rewrite"):
+                plan = push_down_predicates(plan)
         desired = self._desired_orders(plan)
         self._needed_map: Dict[int, Optional[Set[str]]] = {}
         self._collect_needed(plan, None)
-        converted = self._convert(plan, desired)
+        with self.tracer.span("costing"):
+            converted = self._convert(plan, desired)
         return converted.plan
 
     # -- needed-columns pre-pass ---------------------------------------------------------
@@ -417,43 +422,50 @@ class Planner:
             self._binding_tables[binding] = get.table
         strategy = self.options.strategy
 
-        if strategy in ("dp", "dp-bushy"):
-            planner = DPPlanner(
-                graph,
-                estimator,
-                self.model,
-                left_deep=strategy == "dp",
-                use_interesting_orders=self.options.use_interesting_orders,
-                page_size=self.page_size,
-                needed_columns=self._needed_per_binding(region, graph),
-            )
-            wanted = self._wanted_in_region(desired.all, graph, equivalence)
-            for name in wanted:
-                planner.add_interesting_order(name)
-            table = planner.plan_all_orders()
-            sort_wanted = self._wanted_in_region(
-                desired.sort_keys, graph, equivalence
-            )
-            group_wanted = self._wanted_in_region(
-                desired.group_keys, graph, equivalence
-            )
-            sub = self._choose_with_orders(table, sort_wanted, group_wanted)
-            self.last_stats = planner.stats
-        else:
-            planner_cls = {
-                "syntactic": SyntacticPlanner,
-                "naive": NaiveNLPlanner,
-                "greedy": GreedyPlanner,
-                "exhaustive": ExhaustivePlanner,
-            }.get(strategy)
-            if planner_cls is not None:
-                baseline = planner_cls(graph, estimator, self.model)
-            else:
-                baseline = RandomPlanner(
-                    graph, estimator, self.model, seed=self.options.random_seed
+        with self.tracer.span("join_enumeration") as span:
+            if strategy in ("dp", "dp-bushy"):
+                planner = DPPlanner(
+                    graph,
+                    estimator,
+                    self.model,
+                    left_deep=strategy == "dp",
+                    use_interesting_orders=self.options.use_interesting_orders,
+                    page_size=self.page_size,
+                    needed_columns=self._needed_per_binding(region, graph),
                 )
-            sub = baseline.plan()
-            self.last_stats = baseline.stats
+                wanted = self._wanted_in_region(desired.all, graph, equivalence)
+                for name in wanted:
+                    planner.add_interesting_order(name)
+                table = planner.plan_all_orders()
+                sort_wanted = self._wanted_in_region(
+                    desired.sort_keys, graph, equivalence
+                )
+                group_wanted = self._wanted_in_region(
+                    desired.group_keys, graph, equivalence
+                )
+                sub = self._choose_with_orders(table, sort_wanted, group_wanted)
+                self.last_stats = planner.stats
+            else:
+                planner_cls = {
+                    "syntactic": SyntacticPlanner,
+                    "naive": NaiveNLPlanner,
+                    "greedy": GreedyPlanner,
+                    "exhaustive": ExhaustivePlanner,
+                }.get(strategy)
+                if planner_cls is not None:
+                    baseline = planner_cls(graph, estimator, self.model)
+                else:
+                    baseline = RandomPlanner(
+                        graph, estimator, self.model, seed=self.options.random_seed
+                    )
+                sub = baseline.plan()
+                self.last_stats = baseline.stats
+            span.add("relations", len(graph.relations))
+            stats = self.last_stats
+            if stats is not None:
+                span.add("subsets", stats.subsets)
+                span.add("plans_considered", stats.plans_considered)
+                span.add("plans_kept", stats.plans_kept)
 
         order = self._region_order(sub, equivalence)
         order_seq = self._region_order_seq(sub)

@@ -52,7 +52,13 @@ class PhysicalPlan:
     schema: Schema
     est_rows: float = 0.0
     est_cost: Any = None  # repro.optimizer.cost.Cost, untyped to avoid cycle
-    actual_rows: Optional[int] = None  # filled by instrumented execution
+    # -- actuals, filled by instrumented execution --------------------------
+    actual_rows: Optional[int] = None
+    actual_loops: int = 0  # times this node's iterator was (re)started
+    actual_time_ms: Optional[float] = None  # inclusive, FULL level only
+    actual_hits: Optional[int] = None  # buffer-pool hits attributed here
+    actual_reads: Optional[int] = None  # disk page reads attributed here
+    actual_writes: Optional[int] = None  # disk page writes attributed here
 
     def children(self) -> Tuple["PhysicalPlan", ...]:
         return ()
@@ -60,14 +66,41 @@ class PhysicalPlan:
     def describe(self) -> str:  # pragma: no cover - overridden
         return type(self).__name__
 
+    def q_error(self) -> Optional[float]:
+        """Cardinality estimation error (≥ 1) once actuals are known."""
+        if self.actual_rows is None:
+            return None
+        est = max(self.est_rows, 1.0)
+        act = max(float(self.actual_rows), 1.0)
+        return max(est / act, act / est)
+
+    def _actuals_note(self) -> str:
+        """PostgreSQL-style ``(actual time=.. rows=.. loops=..)`` block."""
+        parts = []
+        if self.actual_time_ms is not None:
+            parts.append(f"time={self.actual_time_ms:.3f}ms")
+        parts.append(f"rows={self.actual_rows}")
+        if self.actual_loops:
+            parts.append(f"loops={self.actual_loops}")
+        if self.actual_hits is not None:
+            parts.append(f"hits={self.actual_hits}")
+        if self.actual_reads is not None:
+            parts.append(f"reads={self.actual_reads}")
+        if self.actual_writes:
+            parts.append(f"writes={self.actual_writes}")
+        q = self.q_error()
+        if q is not None:
+            parts.append(f"q-err={q:.2f}")
+        return " (actual " + " ".join(parts) + ")"
+
     def pretty(self, indent: int = 0, actuals: bool = False) -> str:
         cost = self.est_cost
         note = f"  (rows≈{self.est_rows:.0f}"
         if cost is not None:
             note += f", cost≈{cost.total:.1f}"
-        if actuals and self.actual_rows is not None:
-            note += f", actual_rows={self.actual_rows}"
         note += ")"
+        if actuals and self.actual_rows is not None:
+            note += self._actuals_note()
         lines = ["  " * indent + self.describe() + note]
         for child in self.children():
             lines.append(child.pretty(indent + 1, actuals))

@@ -46,6 +46,19 @@ class BufferStats:
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
 
+    def snapshot(self) -> "BufferStats":
+        return BufferStats(
+            self.hits, self.misses, self.evictions, self.dirty_writebacks
+        )
+
+    def delta(self, earlier: "BufferStats") -> "BufferStats":
+        return BufferStats(
+            self.hits - earlier.hits,
+            self.misses - earlier.misses,
+            self.evictions - earlier.evictions,
+            self.dirty_writebacks - earlier.dirty_writebacks,
+        )
+
 
 class _Frame:
     __slots__ = ("page_id", "data", "pin_count", "dirty", "referenced")

@@ -213,3 +213,69 @@ class TestBufferPool:
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             BufferPool(make_disk(), 0)
+
+
+class TestBufferStatsAccounting:
+    """Hit/miss bookkeeping across replacement policies + reset semantics."""
+
+    def _workload(self, policy):
+        """Touch 3 pages through a 2-frame pool: 0, 1, 0, 2, 0."""
+        disk, pool, f = pool_with_pages(2, 3, policy)
+        for page in (0, 1, 0, 2, 0):
+            pool.fix((f, page))
+            pool.unfix((f, page))
+        return disk, pool, f
+
+    @pytest.mark.parametrize(
+        "policy", [Replacement.LRU, Replacement.CLOCK, Replacement.MRU]
+    )
+    def test_accesses_add_up(self, policy):
+        disk, pool, f = self._workload(policy)
+        stats = pool.stats
+        assert stats.accesses == 5
+        assert stats.hits + stats.misses == 5
+        assert stats.misses >= 3  # each page faulted in at least once
+        assert disk.stats.reads == stats.misses
+        assert 0.0 <= stats.hit_rate <= 1.0
+
+    def test_lru_keeps_hot_page(self):
+        # LRU: page 0 is re-touched before 2 arrives, so 1 is the victim
+        # and the final fix of 0 hits.
+        disk, pool, f = self._workload(Replacement.LRU)
+        assert pool.stats.hits == 2
+        assert pool.stats.misses == 3
+        assert pool.contains((f, 0))
+
+    def test_mru_evicts_hot_page(self):
+        # MRU: the just-touched page 0 is the victim when 2 arrives, so the
+        # final fix of 0 misses again.
+        disk, pool, f = self._workload(Replacement.MRU)
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 4
+
+    def test_hit_rate_empty_pool_is_zero(self):
+        disk = make_disk()
+        pool = BufferPool(disk, 2)
+        assert pool.stats.hit_rate == 0.0
+
+    def test_reset_stats_clears_counters_not_frames(self):
+        disk, pool, f = self._workload(Replacement.LRU)
+        resident = [p for p in range(3) if pool.contains((f, p))]
+        pool.reset_stats()
+        assert pool.stats.accesses == 0
+        assert pool.stats.evictions == 0
+        assert pool.stats.dirty_writebacks == 0
+        # frames stay cached: touching a resident page is a hit
+        pool.fix((f, resident[0]))
+        pool.unfix((f, resident[0]))
+        assert pool.stats.hits == 1 and pool.stats.misses == 0
+
+    def test_snapshot_and_delta(self):
+        disk, pool, f = self._workload(Replacement.CLOCK)
+        before = pool.stats.snapshot()
+        pool.fix((f, 1))
+        pool.unfix((f, 1))
+        delta = pool.stats.delta(before)
+        assert delta.accesses == 1
+        # snapshot is a copy, not a view
+        assert before.accesses == 5

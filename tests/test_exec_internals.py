@@ -120,8 +120,24 @@ class TestPhysicalRendering:
     def test_pretty_with_actuals(self):
         scan = self.make_scan()
         scan.actual_rows = 42
+        scan.actual_loops = 1
         text = scan.pretty(actuals=True)
-        assert "actual_rows=42" in text
+        assert "rows=42" in text and "loops=1" in text
+
+    def test_pretty_with_full_actuals(self):
+        scan = self.make_scan()
+        scan.actual_rows = 7
+        scan.actual_loops = 2
+        scan.actual_time_ms = 1.25
+        scan.actual_hits = 3
+        scan.actual_reads = 4
+        scan.actual_writes = 0
+        scan.est_rows = 14.0
+        text = scan.pretty(actuals=True)
+        assert "actual time=1.250ms" in text
+        assert "hits=3" in text and "reads=4" in text
+        assert "writes=" not in text  # zero writes stay quiet
+        assert "q-err=2.00" in text
 
     def test_range_bound_repr(self):
         assert str(RangeBound.open()) == "*"
@@ -132,3 +148,83 @@ class TestPhysicalRendering:
     def test_total_est_cost_default(self):
         scan = self.make_scan()
         assert scan.total_est_cost() == 0.0
+
+
+class TestExecMetricsCounters:
+    """The executor's operator counters under deliberately tiny work_mem."""
+
+    @pytest.fixture
+    def db(self):
+        from repro import Database
+
+        db = Database(buffer_pages=64, work_mem_pages=3, page_size=512)
+        db.execute("CREATE TABLE big (a INT, b INT)")
+        db.insert_rows("big", [(i, (i * 37) % 101) for i in range(500)])
+        db.execute("CREATE TABLE small (k INT, v INT)")
+        db.insert_rows("small", [(i, i % 5) for i in range(40)])
+        db.execute("ANALYZE")
+        return db
+
+    def test_external_sort_spills_and_compares(self, db):
+        from repro.expr import col
+        from repro.physical import PSort
+
+        info = db.table("big")
+        plan = PSort(PSeqScan(info, "big"), ((col("big.b"), True),))
+        result = db.run_plan(plan)
+        values = [row[1] for row in result.rows]
+        assert values == sorted(values)
+        m = result.exec_metrics
+        assert m.spills > 0
+        assert m.temp_files >= m.spills  # run files + merge passes
+
+    def test_hash_join_grace_path_counters(self, db):
+        from repro.expr import col
+        from repro.physical import PHashJoin
+
+        info = db.table("big")
+        plan = PHashJoin(
+            PSeqScan(info, "l"),
+            PSeqScan(info, "r"),
+            col("l.a"),
+            col("r.a"),
+        )
+        result = db.run_plan(plan)
+        assert result.rowcount == 500  # self-join on the unique column
+        m = result.exec_metrics
+        assert m.spills > 0  # build side cannot fit in 3 pages
+        assert m.temp_files > 0  # Grace partitions
+        assert m.hash_probes >= 500  # one probe per left row
+
+    def test_hash_join_in_memory_probes_only(self, db):
+        from repro.expr import col
+        from repro.physical import PHashJoin
+
+        info = db.table("small")
+        plan = PHashJoin(
+            PSeqScan(info, "l"),
+            PSeqScan(info, "r"),
+            col("l.k"),
+            col("r.k"),
+        )
+        result = db.run_plan(plan)
+        assert result.rowcount == 40
+        m = result.exec_metrics
+        assert m.hash_probes == 40
+        assert m.spills == 0
+
+    def test_block_nested_loop_comparisons(self, db):
+        from repro.expr import col, eq
+        from repro.physical import PNestedLoopJoin
+
+        info = db.table("small")
+        plan = PNestedLoopJoin(
+            PSeqScan(info, "l"),
+            PSeqScan(info, "r"),
+            eq(col("l.k"), col("r.k")),
+            block_pages=2,
+        )
+        result = db.run_plan(plan)
+        assert result.rowcount == 40
+        # every (outer, inner) pair is compared exactly once
+        assert result.exec_metrics.comparisons == 40 * 40
