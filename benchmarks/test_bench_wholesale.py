@@ -9,7 +9,6 @@ inside the experiment itself.
 from conftest import save_tables
 
 from repro.bench import e10_wholesale
-from repro.bench.tables import geometric_mean
 from repro.workloads import WholesaleScale
 
 

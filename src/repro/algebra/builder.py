@@ -31,7 +31,6 @@ from ..expr import (
     Literal,
     Negate,
     Not,
-    and_,
     contains_aggregate,
 )
 from ..sql.ast import SelectStmt

@@ -15,7 +15,7 @@ rewrites on and off.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set
 
 from ..expr import (
     ColumnRef,

@@ -19,7 +19,6 @@ from typing import Dict, List, Optional, Tuple
 
 from ..engine import Database
 from ..expr import col, eq
-from ..optimizer import CostModel, pages_for
 from ..physical import (
     PHashJoin,
     PIndexNLJoin,

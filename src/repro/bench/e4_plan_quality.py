@@ -15,7 +15,6 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional
 
-from ..engine import Database
 from ..optimizer import count_dp_subsets
 from ..workloads import build_shape
 from .measure import fresh_db, measure_plan, plan_with_strategy, time_planning

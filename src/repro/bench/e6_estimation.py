@@ -12,10 +12,9 @@ classic error hierarchy.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from ..algebra import build_plan, extract_join_graph, is_join_region, push_down_predicates, transform_join_regions
-from ..catalog import HistogramKind
+from ..algebra import build_plan, extract_join_graph, push_down_predicates, transform_join_regions
 from ..engine import Database
 from ..optimizer import Estimator, EstimatorConfig, StatsResolver
 from ..sql import SelectStmt, parse

@@ -12,7 +12,7 @@ Sort operator.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ..engine import Database
 from ..optimizer import PlannerOptions

@@ -25,7 +25,6 @@ from ..physical import (
     PSort,
     PSortMergeJoin,
 )
-from ..storage import Replacement
 from ..workloads import Rng, shuffled_ints, uniform_floats, uniform_ints
 from .measure import fresh_db, measure_plan
 from .tables import ResultTable

@@ -13,7 +13,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..index import BPlusTree, HashIndex
 from ..storage import BufferPool, HeapFile
-from ..types import Column, DataType, Schema
+from ..types import Column, Schema
 from .stats import ColumnStats, HistogramKind, TableStats, analyze_column
 
 

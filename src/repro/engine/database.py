@@ -20,11 +20,11 @@ and exposes the per-query metrics the benchmark harness consumes.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..algebra import build_plan, prune_columns
-from ..catalog import Catalog, HistogramKind, IndexKind, TableInfo
+from ..algebra import build_plan
+from ..catalog import Catalog, IndexKind, TableInfo
 from ..executor import ExecContext, ExecMetrics, run
 from ..expr import Literal
 from ..obs import (
@@ -54,7 +54,7 @@ from ..sql import (
     UpdateStmt,
     parse,
 )
-from .views import Expansion, ViewDef, ViewError, ViewExpander
+from .views import Expansion, ViewDef, ViewExpander
 from ..storage import BufferPool, BufferStats, DiskManager, IOStats, Replacement
 from ..types import Column, Schema
 
@@ -97,11 +97,13 @@ class Database:
         replacement: Replacement = Replacement.LRU,
         options: Optional[PlannerOptions] = None,
         obs: Optional[ObsConfig] = None,
+        batch_size: int = ExecContext.DEFAULT_BATCH_SIZE,
     ):
         self.disk = DiskManager(page_size)
         self.pool = BufferPool(self.disk, buffer_pages, replacement)
         self.catalog = Catalog(self.pool)
         self.work_mem_pages = work_mem_pages
+        self.batch_size = batch_size
         self.options = options or PlannerOptions()
         self.model = CostModel(
             work_mem_pages=work_mem_pages, buffer_pages=buffer_pages
@@ -405,13 +407,7 @@ class Database:
         correlated aggregates, subqueries under OR) are left alone and fail
         later with a clear error if genuinely correlated.
         """
-        from ..expr import (
-            ColumnRef,
-            SubqueryExpr,
-            and_,
-            eq,
-            split_conjuncts,
-        )
+        from ..expr import ColumnRef, SubqueryExpr, eq, split_conjuncts
         from ..sql.ast import TableRef
 
         if stmt.where is None:
@@ -643,7 +639,12 @@ class Database:
         before_io = self.disk.stats.snapshot()
         before_buf = self.pool.stats.snapshot()
         level = InstrumentLevel.FULL if analyze else self.obs.instrument
-        ctx = ExecContext(self.pool, self.work_mem_pages, instrument=level)
+        ctx = ExecContext(
+            self.pool,
+            self.work_mem_pages,
+            instrument=level,
+            batch_size=self.batch_size,
+        )
         start = time.perf_counter()
         rows = run(physical, ctx)
         elapsed = time.perf_counter() - start

@@ -21,7 +21,7 @@ benefits identically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..expr import ColumnRef, Expr, and_, map_expr
 from ..sql.ast import JoinClause, SelectItem, SelectStmt, TableRef

@@ -1,7 +1,13 @@
-"""Volcano-style execution engine with real I/O accounting."""
+"""Batched operator execution engine with real I/O accounting.
+
+Operators implement ``open() / next_batch() / close()`` (see
+:mod:`.operator`); ``run``/``execute`` in :mod:`.run` are the facade the
+rest of the engine uses.
+"""
 
 from .aggregate import Accumulator, AggregateState, compile_group_key
 from .context import ExecContext, ExecMetrics, read_spill, spill_rows
+from .operator import BatchCursor, Operator, build_operator, operator_for
 from .run import execute, run
 from .sortutil import SortKey, cmp_values, make_key_fn, sorted_rows
 
@@ -13,6 +19,10 @@ __all__ = [
     "ExecMetrics",
     "read_spill",
     "spill_rows",
+    "BatchCursor",
+    "Operator",
+    "build_operator",
+    "operator_for",
     "execute",
     "run",
     "SortKey",

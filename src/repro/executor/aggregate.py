@@ -47,6 +47,40 @@ class Accumulator:
         """COUNT(*): every row counts."""
         self.count += 1
 
+    def add_many(self, values: Sequence[Any]) -> None:
+        """Fold a column of values in one call (same result as ``add`` per
+        value, in the same left-to-right order)."""
+        vals = [v for v in values if v is not None]
+        if self.seen is not None:
+            fresh = []
+            for v in vals:
+                if v not in self.seen:
+                    self.seen.add(v)
+                    fresh.append(v)
+            vals = fresh
+        if not vals:
+            return
+        self.count += len(vals)
+        func = self.func
+        if func is AggFunc.SUM or func is AggFunc.AVG:
+            # accumulate in the same order as repeated add() so float sums
+            # are bit-identical at every batch size
+            total = self.total
+            for v in vals:
+                total = v if total is None else total + v
+            self.total = total
+        elif func is AggFunc.MIN:
+            low = min(vals)
+            if self.extreme is None or low < self.extreme:
+                self.extreme = low
+        elif func is AggFunc.MAX:
+            high = max(vals)
+            if self.extreme is None or high > self.extreme:
+                self.extreme = high
+
+    def add_star_many(self, n: int) -> None:
+        self.count += n
+
     def result(self) -> Any:
         if self.func is AggFunc.COUNT:
             return self.count

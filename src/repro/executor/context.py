@@ -4,15 +4,20 @@
 (sort runs, hash-join build side, nested-loop blocks).  Spill goes through
 temp heap files on the simulated disk via the shared buffer pool, so
 spilling shows up in the I/O counters exactly like any other page traffic.
+
+``batch_size`` is the operator engine's unit of work: how many rows each
+``next_batch()`` call targets.  ``batch_size=1`` degenerates to classic
+tuple-at-a-time Volcano behaviour; larger batches amortize dispatch and
+instrumentation overhead (results are identical at any size).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator, List, Sequence, Tuple
 
 from ..obs import InstrumentLevel
-from ..storage import BufferPool, HeapFile, IOStats
+from ..storage import BufferPool, HeapFile
 from ..types import Schema
 
 
@@ -31,17 +36,26 @@ class ExecMetrics:
 class ExecContext:
     """Shared state for one query execution."""
 
+    #: default rows per batch; large enough to amortize per-batch dispatch
+    #: and instrumentation, small enough that a batch of wide tuples stays
+    #: cache-friendly
+    DEFAULT_BATCH_SIZE = 1024
+
     def __init__(
         self,
         pool: BufferPool,
         work_mem_pages: int = 64,
         instrument: InstrumentLevel = InstrumentLevel.ROWS,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ):
         if work_mem_pages < 3:
             raise ValueError("work memory must be at least 3 pages")
+        if batch_size < 1:
+            raise ValueError("batch size must be at least 1 row")
         self.pool = pool
         self.work_mem_pages = work_mem_pages
         self.instrument = instrument
+        self.batch_size = batch_size
         self.metrics = ExecMetrics()
         self._temp_counter = 0
         self._temp_files: List[HeapFile] = []

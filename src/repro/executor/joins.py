@@ -1,0 +1,389 @@
+"""Join operators: block nested-loop, index nested-loop, sort-merge, hash.
+
+The nested-loop inner side is rescanned per outer block through the
+operator lifecycle — ``close()`` then ``open()`` — instead of rebuilding
+a generator tree, so an inner Materialize keeps its cache across blocks.
+The hash join's Grace spill path (temp-file partitioning through the
+buffer pool) is unchanged from the generator engine.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Any, Iterator, List, Optional
+
+from ..expr import compile_expr, compile_expr_batch, compile_predicate_batch
+from ..physical import (
+    PHashJoin,
+    PIndexNLJoin,
+    PNestedLoopJoin,
+    PSortMergeJoin,
+)
+from .operator import (
+    Batch,
+    BatchCursor,
+    Operator,
+    Row,
+    build_operator,
+    operator_for,
+)
+from .sortutil import cmp_values
+
+
+class _BinaryJoinOp(Operator):
+    """Shared plumbing: two child operators plus a residual predicate."""
+
+    def __init__(self, plan, ctx):
+        super().__init__(plan, ctx)
+        self.left = build_operator(plan.left, ctx)
+        self.right = build_operator(plan.right, ctx)
+        self._gen: Optional[Iterator[Row]] = None
+
+    def _open(self):
+        self.left.open()
+        self.right.open()
+        self._gen = None
+
+    def _next_batch(self, max_rows=None) -> Optional[Batch]:
+        if self._gen is None:
+            self._gen = self._join_rows()
+        batch = list(islice(self._gen, self._target(max_rows)))
+        return batch or None
+
+    def _join_rows(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def _close(self):
+        self._gen = None
+        self.left.close()
+        self.right.close()
+
+
+@operator_for(PNestedLoopJoin)
+class NestedLoopJoinOp(_BinaryJoinOp):
+    """Block nested-loop: outer read once in blocks sized to the work
+    memory, inner rescanned (``close()``+``open()``) per block."""
+
+    def __init__(self, plan, ctx):
+        super().__init__(plan, ctx)
+        self.condition = (
+            compile_predicate_batch(plan.condition, plan.schema)
+            if plan.condition is not None
+            else None
+        )
+        self._inner_open = False
+
+    def _open(self):
+        # the inner side opens lazily, once per non-empty outer block
+        self.left.open()
+        self._inner_open = False
+        self._gen = None
+
+    def _blocks(self) -> Iterator[List[Row]]:
+        """Outer blocks of exactly ``block_rows`` rows (last may be short),
+        regardless of the producer's batch size."""
+        plan = self.plan
+        block_rows = self.ctx.max_rows_in_memory(
+            plan.left.schema, plan.block_pages
+        )
+        block: List[Row] = []
+        while True:
+            batch = self.left.next_batch()
+            if batch is None:
+                break
+            i = 0
+            while i < len(batch):
+                take = min(block_rows - len(block), len(batch) - i)
+                block.extend(batch[i : i + take])
+                i += take
+                if len(block) >= block_rows:
+                    yield block
+                    block = []
+        if block:
+            yield block
+
+    def _join_rows(self) -> Iterator[Row]:
+        condition = self.condition
+        metrics = self.ctx.metrics
+        inner = self.right
+        for block in self._blocks():
+            # one rescan of the inner per outer block
+            if self._inner_open:
+                inner.close()
+            inner.open()
+            self._inner_open = True
+            while True:
+                inner_batch = inner.next_batch()
+                if inner_batch is None:
+                    break
+                for inner_row in inner_batch:
+                    metrics.comparisons += len(block)
+                    combined = [outer + inner_row for outer in block]
+                    if condition is None:
+                        yield from combined
+                    else:
+                        mask = condition(combined)
+                        for row, keep in zip(combined, mask):
+                            if keep:
+                                yield row
+
+    def _close(self):
+        self._gen = None
+        self.left.close()
+        if self._inner_open:
+            self.right.close()
+            self._inner_open = False
+
+
+@operator_for(PIndexNLJoin)
+class IndexNLJoinOp(Operator):
+    """For each outer row, probe an index on the inner table."""
+
+    def __init__(self, plan, ctx):
+        super().__init__(plan, ctx)
+        self.left = build_operator(plan.left, ctx)
+        self.key_fn = compile_expr_batch(plan.outer_key, plan.left.schema)
+        self.residual = (
+            compile_predicate_batch(plan.residual, plan.schema)
+            if plan.residual is not None
+            else None
+        )
+        self._gen: Optional[Iterator[Row]] = None
+
+    def _open(self):
+        self.left.open()
+        self._gen = None
+
+    def _next_batch(self, max_rows=None) -> Optional[Batch]:
+        if self._gen is None:
+            self._gen = self._join_rows()
+        batch = list(islice(self._gen, self._target(max_rows)))
+        return batch or None
+
+    def _join_rows(self) -> Iterator[Row]:
+        plan = self.plan
+        index = plan.index
+        heap_fetch = plan.table.heap.fetch
+        metrics = self.ctx.metrics
+        composite = getattr(index, "is_composite", False)
+        if composite:
+            from ..index.keys import MAX_KEY, MIN_KEY
+        while True:
+            outer_batch = self.left.next_batch()
+            if outer_batch is None:
+                return
+            out: List[Row] = []
+            for outer_row, key in zip(outer_batch, self.key_fn(outer_batch)):
+                if key is None:
+                    continue
+                metrics.hash_probes += 1
+                if composite:
+                    # probe on the leading key component: all entries whose
+                    # first component equals the outer key
+                    rids = [
+                        rid
+                        for _, rid in index.structure.range_scan(
+                            (key, MIN_KEY), (key, MAX_KEY)
+                        )
+                    ]
+                else:
+                    rids = index.structure.search(key)
+                for rid in rids:
+                    inner_row = heap_fetch(rid)
+                    if inner_row is None:
+                        continue
+                    out.append(outer_row + inner_row)
+            if self.residual is not None and out:
+                mask = self.residual(out)
+                out = [row for row, keep in zip(out, mask) if keep]
+            yield from out
+
+    def _close(self):
+        self._gen = None
+        self.left.close()
+
+
+@operator_for(PSortMergeJoin)
+class SortMergeJoinOp(_BinaryJoinOp):
+    """Merge join on equality keys over pre-sorted inputs."""
+
+    def __init__(self, plan, ctx):
+        super().__init__(plan, ctx)
+        self.left_key = compile_expr(plan.left_key, plan.left.schema)
+        self.right_key = compile_expr(plan.right_key, plan.right.schema)
+        self.residual = (
+            compile_predicate_batch(plan.residual, plan.schema)
+            if plan.residual is not None
+            else None
+        )
+
+    def _join_rows(self) -> Iterator[Row]:
+        left_key = self.left_key
+        right_key = self.right_key
+        metrics = self.ctx.metrics
+        left = BatchCursor(self.left)
+        right = BatchCursor(self.right)
+
+        lrow = left.next_row()
+        rrow = right.next_row()
+        while lrow is not None and rrow is not None:
+            lk = left_key(lrow)
+            rk = right_key(rrow)
+            if lk is None:
+                lrow = left.next_row()
+                continue
+            if rk is None:
+                rrow = right.next_row()
+                continue
+            metrics.comparisons += 1
+            c = cmp_values(lk, rk)
+            if c < 0:
+                lrow = left.next_row()
+            elif c > 0:
+                rrow = right.next_row()
+            else:
+                # gather the full right group with this key
+                group = [rrow]
+                rrow = right.next_row()
+                while rrow is not None and right_key(rrow) == lk:
+                    group.append(rrow)
+                    rrow = right.next_row()
+                while lrow is not None and left_key(lrow) == lk:
+                    combined = [lrow + g for g in group]
+                    if self.residual is None:
+                        yield from combined
+                    else:
+                        mask = self.residual(combined)
+                        for row, keep in zip(combined, mask):
+                            if keep:
+                                yield row
+                    lrow = left.next_row()
+
+
+@operator_for(PHashJoin)
+class HashJoinOp(_BinaryJoinOp):
+    """Hash join building on the right input; Grace-partitions through
+    temp files when the build side exceeds work memory."""
+
+    def __init__(self, plan, ctx):
+        super().__init__(plan, ctx)
+        self.left_key = compile_expr_batch(plan.left_key, plan.left.schema)
+        self.right_key = compile_expr_batch(plan.right_key, plan.right.schema)
+        self.residual = (
+            compile_predicate_batch(plan.residual, plan.schema)
+            if plan.residual is not None
+            else None
+        )
+
+    def _join_rows(self) -> Iterator[Row]:
+        plan = self.plan
+        ctx = self.ctx
+        build_schema = plan.right.schema
+        max_build = ctx.max_rows_in_memory(build_schema)
+
+        build_rows: List[Row] = []
+        overflow = False
+        while True:
+            batch = self.right.next_batch()
+            if batch is None:
+                break
+            build_rows.extend(batch)
+            if len(build_rows) > max_build:
+                overflow = True
+                break
+
+        if not overflow:
+            yield from self._in_memory(build_rows)
+        else:
+            yield from self._grace(build_rows)
+
+    def _in_memory(self, build_rows: List[Row]) -> Iterator[Row]:
+        metrics = self.ctx.metrics
+        table: dict = {}
+        if build_rows:
+            for row, key in zip(build_rows, self.right_key(build_rows)):
+                if key is None:
+                    continue
+                table.setdefault(key, []).append(row)
+        while True:
+            probe = self.left.next_batch()
+            if probe is None:
+                return
+            out: List[Row] = []
+            for lrow, key in zip(probe, self.left_key(probe)):
+                if key is None:
+                    continue
+                metrics.hash_probes += 1
+                for rrow in table.get(key, ()):
+                    out.append(lrow + rrow)
+            yield from self._residual_filter(out)
+
+    def _grace(self, build_rows: List[Row]) -> Iterator[Row]:
+        """Partition both inputs to temp files, then join each partition
+        pair in memory."""
+        plan = self.plan
+        ctx = self.ctx
+        metrics = ctx.metrics
+        fanout = max(2, ctx.work_mem_pages - 1)
+        right_parts = [
+            ctx.create_temp(plan.right.schema) for _ in range(fanout)
+        ]
+        if build_rows:
+            for row, key in zip(build_rows, self.right_key(build_rows)):
+                _partition_insert(right_parts, key, row, fanout)
+        while True:  # rest of the build side
+            batch = self.right.next_batch()
+            if batch is None:
+                break
+            for row, key in zip(batch, self.right_key(batch)):
+                _partition_insert(right_parts, key, row, fanout)
+        left_parts = [ctx.create_temp(plan.left.schema) for _ in range(fanout)]
+        while True:
+            batch = self.left.next_batch()
+            if batch is None:
+                break
+            for row, key in zip(batch, self.left_key(batch)):
+                _partition_insert(left_parts, key, row, fanout)
+        metrics.spills += 1
+
+        for lpart, rpart in zip(left_parts, right_parts):
+            table: dict = {}
+            rrows = list(rpart.scan_rows())
+            if rrows:
+                for rrow, key in zip(rrows, self.right_key(rrows)):
+                    table.setdefault(key, []).append(rrow)
+            lrows = list(lpart.scan_rows())
+            out: List[Row] = []
+            if lrows:
+                for lrow, key in zip(lrows, self.left_key(lrows)):
+                    metrics.hash_probes += 1
+                    for rrow in table.get(key, ()):
+                        out.append(lrow + rrow)
+            yield from self._residual_filter(out)
+            ctx.drop_temp(lpart)
+            ctx.drop_temp(rpart)
+
+    def _residual_filter(self, rows: List[Row]) -> Iterator[Row]:
+        if not rows:
+            return iter(())
+        if self.residual is None:
+            return iter(rows)
+        mask = self.residual(rows)
+        return (row for row, keep in zip(rows, mask) if keep)
+
+
+def _partition_insert(parts, key: Any, row: Row, fanout: int) -> None:
+    if key is None:
+        return  # NULL keys never join
+    parts[_stable_hash(key) % fanout].insert(row)
+
+
+def _stable_hash(key: Any) -> int:
+    if isinstance(key, str):
+        h = 2166136261
+        for b in key.encode("utf-8"):
+            h = ((h ^ b) * 16777619) & 0xFFFFFFFF
+        return h
+    if isinstance(key, float) and key.is_integer():
+        key = int(key)
+    return hash(key) & 0xFFFFFFFF

@@ -1,573 +1,71 @@
-"""The Volcano-style executor: physical plan -> row iterator.
+"""Execution facade: physical plan -> rows, via the batched Operator engine.
 
-``execute(plan, ctx)`` builds a generator tree mirroring the plan.  All page
-access goes through the buffer pool, so I/O counters reflect real behaviour
-(including temp-file spill from sorts, hash joins and block nested loops).
+The operators themselves live in the per-family modules (``scans``,
+``joins``, ``agg_sort``, ``misc``) as :class:`~.operator.Operator`
+subclasses; importing this module registers all of them.  This module
+keeps the two entry points the rest of the engine builds on:
 
-``run(plan, ctx)`` drains the iterator, annotating per-node actuals (for
-EXPLAIN ANALYZE-style output and the cost-validation experiments) and
-cleans up temp files.  How much is measured follows
-``ctx.instrument`` (:class:`repro.obs.InstrumentLevel`):
+``run(plan, ctx)`` executes to completion and returns the row list,
+resetting per-node actuals first and annotating them as it goes (what is
+measured follows ``ctx.instrument`` — see :mod:`repro.obs`): OFF is bare
+batches, ROWS annotates actual row/loop counts, FULL adds per-batch
+wall-clock and attributed buffer/disk I/O (inclusive of children,
+PostgreSQL-style) — the level ``EXPLAIN ANALYZE`` runs at.
 
-* ``OFF``  — bare iteration, no annotation;
-* ``ROWS`` — actual row and loop counts (the cheap default);
-* ``FULL`` — additionally times every ``next()`` call and attributes the
-  buffer-pool hits and disk reads/writes that happened inside it to the
-  operator (inclusive of its children, PostgreSQL-style) — the level
-  ``EXPLAIN ANALYZE`` runs at.
+``execute(plan, ctx)`` is the streaming facade: a row iterator over the
+operator tree for consumers that may stop early.  Both entry points bump
+``ctx.metrics.rows_emitted`` batch by batch as output is drained, so the
+counter is correct even for abandoned iterations.
 """
 
 from __future__ import annotations
 
-import heapq
-import time
-from typing import Any, Callable, Iterator, List, Optional, Tuple
+from typing import Any, Iterator, List, Tuple
 
-from ..obs import InstrumentLevel
-
-from ..expr import compile_expr, compile_predicate
-from ..physical import (
-    PAggregate,
-    PDistinct,
-    PFilter,
-    PHashJoin,
-    PIndexNLJoin,
-    PIndexOnlyScan,
-    PIndexScan,
-    PLimit,
-    PMaterialize,
-    PNarrow,
-    PNestedLoopJoin,
-    PProject,
-    PSeqScan,
-    PSort,
-    PSortMergeJoin,
-    PhysicalError,
-    PhysicalPlan,
-    RangeBound,
-)
-from ..catalog import IndexKind
-from ..types import successor
-from .aggregate import AggregateState, compile_group_key
+# importing the operator families populates the plan-type registry
+from . import agg_sort, joins, misc, scans  # noqa: F401
 from .context import ExecContext
-from .sortutil import cmp_values, make_key_fn
+from .operator import Operator, build_operator
+from ..physical import PhysicalPlan
 
 Row = Tuple[Any, ...]
 
 
 def execute(plan: PhysicalPlan, ctx: ExecContext) -> Iterator[Row]:
-    """Build the iterator tree for *plan* (lazily; nothing runs yet)."""
-    handler = _DISPATCH.get(type(plan))
-    if handler is None:
-        raise PhysicalError(f"no executor for {type(plan).__name__}")
-    return handler(plan, ctx)
+    """Stream *plan*'s rows lazily (nothing runs until iterated)."""
+    root = build_operator(plan, ctx)
+    return _stream(root, ctx)
+
+
+def _stream(root: Operator, ctx: ExecContext) -> Iterator[Row]:
+    root.open()
+    try:
+        while True:
+            batch = root.next_batch()
+            if batch is None:
+                break
+            ctx.metrics.rows_emitted += len(batch)
+            yield from batch
+    finally:
+        root.close()
 
 
 def run(plan: PhysicalPlan, ctx: ExecContext) -> List[Row]:
     """Execute to completion, annotating actuals on every node."""
-    _reset_actuals(plan)
+    plan.reset_actuals()
+    root = build_operator(plan, ctx)
+    rows: List[Row] = []
     try:
-        rows = list(_counted(plan, execute(plan, ctx), ctx))
-    finally:
-        ctx.cleanup()
-    ctx.metrics.rows_emitted += len(rows)
-    return rows
-
-
-def _reset_actuals(plan: PhysicalPlan) -> None:
-    plan.actual_rows = None  # wrappers fill it in (stays None at OFF)
-    plan.actual_loops = 0
-    plan.actual_time_ms = None
-    plan.actual_hits = None
-    plan.actual_reads = None
-    plan.actual_writes = None
-    if isinstance(plan, PMaterialize) and hasattr(plan, "_cache"):
-        del plan._cache
-    for child in plan.children():
-        _reset_actuals(child)
-
-
-def _counted(
-    plan: PhysicalPlan, rows: Iterator[Row], ctx: ExecContext
-) -> Iterator[Row]:
-    """Wrap a node's iterator with the measurement the context asks for."""
-    level = ctx.instrument
-    if level is InstrumentLevel.ROWS:
-        return _row_counted(plan, rows)
-    if level is InstrumentLevel.OFF:
-        return rows
-    return _instrumented(plan, rows, ctx)
-
-
-def _row_counted(plan: PhysicalPlan, rows: Iterator[Row]) -> Iterator[Row]:
-    """Count rows and loops through a node.  Accumulates across rescans (a
-    nested loop's inner side runs once per outer block)."""
-    plan.actual_loops += 1
-    count = 0
-    for row in rows:
-        count += 1
-        yield row
-    plan.actual_rows = (plan.actual_rows or 0) + count
-
-
-def _instrumented(
-    plan: PhysicalPlan, rows: Iterator[Row], ctx: ExecContext
-) -> Iterator[Row]:
-    """FULL-level wrapper: per-``next()`` wall-clock and attributed I/O.
-
-    Each interval between entering and leaving ``next(rows)`` belongs to
-    this operator (and, inclusively, its children — their iterators only
-    advance inside it).  Buffer/disk counter deltas over the interval give
-    the attributed hits/reads/writes; work a *sibling* does between this
-    node's calls is never charged here.  Totals accumulate across rescans;
-    partial results are recorded even when the consumer abandons the
-    iterator early (LIMIT) or an operator raises.
-    """
-    plan.actual_loops += 1
-    bstats = ctx.pool.stats
-    dstats = ctx.pool.disk.stats
-    perf = time.perf_counter
-    count = 0
-    total_s = 0.0
-    hits = reads = writes = 0
-    try:
+        root.open()
         while True:
-            h0 = bstats.hits
-            r0 = dstats.reads
-            w0 = dstats.writes
-            t0 = perf()
-            try:
-                row = next(rows)
-            except StopIteration:
-                total_s += perf() - t0
-                hits += bstats.hits - h0
-                reads += dstats.reads - r0
-                writes += dstats.writes - w0
+            batch = root.next_batch()
+            if batch is None:
                 break
-            total_s += perf() - t0
-            hits += bstats.hits - h0
-            reads += dstats.reads - r0
-            writes += dstats.writes - w0
-            count += 1
-            yield row
+            ctx.metrics.rows_emitted += len(batch)
+            rows.extend(batch)
     finally:
-        plan.actual_rows = (plan.actual_rows or 0) + count
-        plan.actual_time_ms = (plan.actual_time_ms or 0.0) + total_s * 1000.0
-        plan.actual_hits = (plan.actual_hits or 0) + hits
-        plan.actual_reads = (plan.actual_reads or 0) + reads
-        plan.actual_writes = (plan.actual_writes or 0) + writes
-
-
-# -- scans ------------------------------------------------------------------------
-
-
-def _seq_scan(plan: PSeqScan, ctx: ExecContext) -> Iterator[Row]:
-    predicate = (
-        compile_predicate(plan.predicate, plan.schema)
-        if plan.predicate is not None
-        else None
-    )
-    for row in plan.table.heap.scan_rows():
-        ctx.metrics.rows_scanned += 1
-        if predicate is None or predicate(row):
-            yield row
-
-
-def _index_bounds(plan) -> Tuple[Any, Any, bool, bool]:
-    low = None if plan.low.unbounded else plan.low.value
-    high = None if plan.high.unbounded else plan.high.value
-    return low, high, plan.low.inclusive, plan.high.inclusive
-
-
-def _index_scan(plan: PIndexScan, ctx: ExecContext) -> Iterator[Row]:
-    residual = (
-        compile_predicate(plan.residual, plan.schema)
-        if plan.residual is not None
-        else None
-    )
-    index = plan.index
-    if index.kind is IndexKind.HASH:
-        if not plan.is_equality:
-            raise PhysicalError("hash index supports only equality probes")
-        rids = index.structure.search(plan.low.value)
-        entries: Iterator[Tuple[Any, Any]] = ((plan.low.value, r) for r in rids)
-    else:
-        low, high, li, hi = _index_bounds(plan)
-        entries = index.structure.range_scan(low, high, li, hi)
-    heap = plan.table.heap
-    for _, rid in entries:
-        row = heap.fetch(rid)
-        if row is None:
-            continue  # deleted since the index entry was made
-        ctx.metrics.rows_scanned += 1
-        if residual is None or residual(row):
-            yield row
-
-
-def _index_only_scan(plan: PIndexOnlyScan, ctx: ExecContext) -> Iterator[Row]:
-    if plan.index.kind is not IndexKind.BTREE:
-        raise PhysicalError("index-only scans require a btree index")
-    low, high, li, hi = _index_bounds(plan)
-    for key, _rid in plan.index.structure.range_scan(low, high, li, hi):
-        ctx.metrics.rows_scanned += 1
-        yield (key,)
-
-
-# -- stateless row operators ----------------------------------------------------------
-
-
-def _filter(plan: PFilter, ctx: ExecContext) -> Iterator[Row]:
-    predicate = compile_predicate(plan.predicate, plan.child.schema)
-    for row in _counted(plan.child, execute(plan.child, ctx), ctx):
-        if predicate(row):
-            yield row
-
-
-def _project(plan: PProject, ctx: ExecContext) -> Iterator[Row]:
-    fns = [compile_expr(e, plan.child.schema) for e in plan.exprs]
-    for row in _counted(plan.child, execute(plan.child, ctx), ctx):
-        yield tuple(fn(row) for fn in fns)
-
-
-def _narrow(plan: PNarrow, ctx: ExecContext) -> Iterator[Row]:
-    positions = plan.positions
-    for row in _counted(plan.child, execute(plan.child, ctx), ctx):
-        yield tuple(row[i] for i in positions)
-
-
-def _limit(plan: PLimit, ctx: ExecContext) -> Iterator[Row]:
-    if plan.count <= 0:
-        return
-    emitted = 0
-    for row in _counted(plan.child, execute(plan.child, ctx), ctx):
-        yield row
-        emitted += 1
-        if emitted >= plan.count:
-            return
-
-
-def _materialize(plan: PMaterialize, ctx: ExecContext) -> Iterator[Row]:
-    cached = getattr(plan, "_cache", None)
-    if cached is None:
-        cached = list(_counted(plan.child, execute(plan.child, ctx), ctx))
-        plan._cache = cached
-    return iter(cached)
-
-
-# -- joins ----------------------------------------------------------------------------
-
-
-def _nested_loop(plan: PNestedLoopJoin, ctx: ExecContext) -> Iterator[Row]:
-    condition = (
-        compile_predicate(plan.condition, plan.schema)
-        if plan.condition is not None
-        else None
-    )
-    block_rows = ctx.max_rows_in_memory(plan.left.schema, plan.block_pages)
-    outer = _counted(plan.left, execute(plan.left, ctx), ctx)
-    block: List[Row] = []
-
-    def flush() -> Iterator[Row]:
-        if not block:
-            return
-        # one pass over the inner per outer block
-        for inner_row in _counted(plan.right, execute(plan.right, ctx), ctx):
-            for outer_row in block:
-                ctx.metrics.comparisons += 1
-                combined = outer_row + inner_row
-                if condition is None or condition(combined):
-                    yield combined
-
-    for outer_row in outer:
-        block.append(outer_row)
-        if len(block) >= block_rows:
-            yield from flush()
-            block = []
-    yield from flush()
-
-
-def _index_nl(plan: PIndexNLJoin, ctx: ExecContext) -> Iterator[Row]:
-    key_fn = compile_expr(plan.outer_key, plan.left.schema)
-    residual = (
-        compile_predicate(plan.residual, plan.schema)
-        if plan.residual is not None
-        else None
-    )
-    index = plan.index
-    heap = plan.table.heap
-    composite = getattr(index, "is_composite", False)
-    if composite:
-        from ..index.keys import MAX_KEY, MIN_KEY
-    for outer_row in _counted(plan.left, execute(plan.left, ctx), ctx):
-        key = key_fn(outer_row)
-        if key is None:
-            continue
-        ctx.metrics.hash_probes += 1
-        if composite:
-            # probe on the leading key component: all entries whose first
-            # component equals the outer key
-            rids = [
-                rid
-                for _, rid in index.structure.range_scan(
-                    (key, MIN_KEY), (key, MAX_KEY)
-                )
-            ]
-        else:
-            rids = index.structure.search(key)
-        for rid in rids:
-            inner_row = heap.fetch(rid)
-            if inner_row is None:
-                continue
-            combined = outer_row + inner_row
-            if residual is None or residual(combined):
-                yield combined
-
-
-def _merge_join(plan: PSortMergeJoin, ctx: ExecContext) -> Iterator[Row]:
-    left_key = compile_expr(plan.left_key, plan.left.schema)
-    right_key = compile_expr(plan.right_key, plan.right.schema)
-    residual = (
-        compile_predicate(plan.residual, plan.schema)
-        if plan.residual is not None
-        else None
-    )
-    left = _counted(plan.left, execute(plan.left, ctx), ctx)
-    right = _counted(plan.right, execute(plan.right, ctx), ctx)
-
-    lrow = next(left, None)
-    rrow = next(right, None)
-    while lrow is not None and rrow is not None:
-        lk = left_key(lrow)
-        rk = right_key(rrow)
-        if lk is None:
-            lrow = next(left, None)
-            continue
-        if rk is None:
-            rrow = next(right, None)
-            continue
-        ctx.metrics.comparisons += 1
-        c = cmp_values(lk, rk)
-        if c < 0:
-            lrow = next(left, None)
-        elif c > 0:
-            rrow = next(right, None)
-        else:
-            # gather the full right group with this key
-            group = [rrow]
-            rrow = next(right, None)
-            while rrow is not None and right_key(rrow) == lk:
-                group.append(rrow)
-                rrow = next(right, None)
-            while lrow is not None and left_key(lrow) == lk:
-                for g in group:
-                    combined = lrow + g
-                    if residual is None or residual(combined):
-                        yield combined
-                lrow = next(left, None)
-
-
-def _hash_join(plan: PHashJoin, ctx: ExecContext) -> Iterator[Row]:
-    left_key = compile_expr(plan.left_key, plan.left.schema)
-    right_key = compile_expr(plan.right_key, plan.right.schema)
-    residual = (
-        compile_predicate(plan.residual, plan.schema)
-        if plan.residual is not None
-        else None
-    )
-    build_schema = plan.right.schema
-    max_build = ctx.max_rows_in_memory(build_schema)
-
-    table: dict = {}
-    build_rows: List[Row] = []
-    overflow = False
-    build_iter = _counted(plan.right, execute(plan.right, ctx), ctx)
-    for row in build_iter:
-        build_rows.append(row)
-        if len(build_rows) > max_build:
-            overflow = True
-            break
-
-    if not overflow:
-        for row in build_rows:
-            key = right_key(row)
-            if key is None:
-                continue
-            table.setdefault(key, []).append(row)
-        for lrow in _counted(plan.left, execute(plan.left, ctx), ctx):
-            key = left_key(lrow)
-            if key is None:
-                continue
-            ctx.metrics.hash_probes += 1
-            for rrow in table.get(key, ()):
-                combined = lrow + rrow
-                if residual is None or residual(combined):
-                    yield combined
-        return
-
-    # Grace hash join: partition both inputs to temp files, then join each
-    # partition pair in memory.
-    fanout = max(2, ctx.work_mem_pages - 1)
-    right_parts = [ctx.create_temp(build_schema) for _ in range(fanout)]
-    for row in build_rows:
-        _partition_insert(right_parts, right_key(row), row, fanout)
-    for row in build_iter:  # rest of the build side
-        _partition_insert(right_parts, right_key(row), row, fanout)
-    left_parts = [ctx.create_temp(plan.left.schema) for _ in range(fanout)]
-    for row in _counted(plan.left, execute(plan.left, ctx), ctx):
-        _partition_insert(left_parts, left_key(row), row, fanout)
-    ctx.metrics.spills += 1
-
-    for lpart, rpart in zip(left_parts, right_parts):
-        table = {}
-        for rrow in rpart.scan_rows():
-            key = right_key(rrow)
-            table.setdefault(key, []).append(rrow)
-        for lrow in lpart.scan_rows():
-            key = left_key(lrow)
-            ctx.metrics.hash_probes += 1
-            for rrow in table.get(key, ()):
-                combined = lrow + rrow
-                if residual is None or residual(combined):
-                    yield combined
-        ctx.drop_temp(lpart)
-        ctx.drop_temp(rpart)
-
-
-def _partition_insert(parts, key: Any, row: Row, fanout: int) -> None:
-    if key is None:
-        return  # NULL keys never join
-    parts[_stable_hash(key) % fanout].insert(row)
-
-
-def _stable_hash(key: Any) -> int:
-    if isinstance(key, str):
-        h = 2166136261
-        for b in key.encode("utf-8"):
-            h = ((h ^ b) * 16777619) & 0xFFFFFFFF
-        return h
-    if isinstance(key, float) and key.is_integer():
-        key = int(key)
-    return hash(key) & 0xFFFFFFFF
-
-
-# -- sort --------------------------------------------------------------------------------
-
-
-def _sort(plan: PSort, ctx: ExecContext) -> Iterator[Row]:
-    child_schema = plan.child.schema
-    evaluators = [compile_expr(e, child_schema) for e, _ in plan.keys]
-    directions = [asc for _, asc in plan.keys]
-    key_fn = make_key_fn(evaluators, directions)
-    max_rows = ctx.max_rows_in_memory(child_schema)
-
-    runs = []
-    buffer: List[Row] = []
-    for row in _counted(plan.child, execute(plan.child, ctx), ctx):
-        buffer.append(row)
-        if len(buffer) >= max_rows:
-            buffer.sort(key=key_fn)
-            runs.append(_write_run(ctx, child_schema, buffer))
-            buffer = []
-    if not runs:
-        buffer.sort(key=key_fn)
-        yield from buffer
-        return
-    if buffer:
-        buffer.sort(key=key_fn)
-        runs.append(_write_run(ctx, child_schema, buffer))
-    ctx.metrics.spills += 1
-
-    # k-way merge of sorted runs
-    streams = [run_file.scan_rows() for run_file in runs]
-    heap: List[Tuple[Any, int, Row]] = []
-    for i, stream in enumerate(streams):
-        first = next(stream, None)
-        if first is not None:
-            heapq.heappush(heap, (key_fn(first), i, first))
-    while heap:
-        _, i, row = heapq.heappop(heap)
-        yield row
-        nxt = next(streams[i], None)
-        if nxt is not None:
-            heapq.heappush(heap, (key_fn(nxt), i, nxt))
-    for run_file in runs:
-        ctx.drop_temp(run_file)
-
-
-def _write_run(ctx: ExecContext, schema, rows: List[Row]):
-    temp = ctx.create_temp(schema)
-    for row in rows:
-        temp.insert(row)
-    return temp
-
-
-# -- aggregation / distinct -----------------------------------------------------------------
-
-
-def _aggregate(plan: PAggregate, ctx: ExecContext) -> Iterator[Row]:
-    child_schema = plan.child.schema
-    state = AggregateState(plan.aggs, child_schema)
-    key_fn = compile_group_key(plan.group_exprs, child_schema)
-    rows = _counted(plan.child, execute(plan.child, ctx), ctx)
-
-    if plan.streaming and plan.group_exprs:
-        current_key: Optional[Tuple[Any, ...]] = None
-        accs = None
-        started = False
-        for row in rows:
-            key = key_fn(row)
-            if not started or key != current_key:
-                if started:
-                    yield current_key + state.finish(accs)
-                current_key = key
-                accs = state.new_group()
-                started = True
-            state.update(accs, row)
-        if started:
-            yield current_key + state.finish(accs)
-        return
-
-    if not plan.group_exprs:
-        accs = state.new_group()
-        for row in rows:
-            state.update(accs, row)
-        yield state.finish(accs)
-        return
-
-    groups: dict = {}
-    for row in rows:
-        key = key_fn(row)
-        accs = groups.get(key)
-        if accs is None:
-            accs = state.new_group()
-            groups[key] = accs
-        state.update(accs, row)
-    for key, accs in groups.items():
-        yield key + state.finish(accs)
-
-
-def _distinct(plan: PDistinct, ctx: ExecContext) -> Iterator[Row]:
-    seen = set()
-    for row in _counted(plan.child, execute(plan.child, ctx), ctx):
-        if row not in seen:
-            seen.add(row)
-            yield row
-
-
-_DISPATCH: dict = {
-    PSeqScan: _seq_scan,
-    PIndexScan: _index_scan,
-    PIndexOnlyScan: _index_only_scan,
-    PFilter: _filter,
-    PProject: _project,
-    PNarrow: _narrow,
-    PLimit: _limit,
-    PMaterialize: _materialize,
-    PNestedLoopJoin: _nested_loop,
-    PIndexNLJoin: _index_nl,
-    PSortMergeJoin: _merge_join,
-    PHashJoin: _hash_join,
-    PSort: _sort,
-    PAggregate: _aggregate,
-    PDistinct: _distinct,
-}
+        try:
+            root.close()
+        finally:
+            ctx.cleanup()
+    return rows

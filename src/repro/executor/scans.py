@@ -1,0 +1,158 @@
+"""Leaf operators: sequential, index, and index-only scans.
+
+All page access goes through the buffer pool via the heap/index
+structures, so I/O counters reflect real behaviour.  Scans are the pure
+batch producers: they pull up to ``batch_size`` rows per call and apply
+their predicate with one vectorized evaluation per batch.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Any, Iterator, Optional, Tuple
+
+from ..catalog import IndexKind
+from ..expr import compile_predicate_batch
+from ..physical import (
+    PIndexOnlyScan,
+    PIndexScan,
+    PSeqScan,
+    PhysicalError,
+)
+from .operator import Batch, Operator, operator_for
+
+
+@operator_for(PSeqScan)
+class SeqScanOp(Operator):
+    """Full heap scan with an optional pushed-down predicate."""
+
+    def __init__(self, plan, ctx):
+        super().__init__(plan, ctx)
+        self.predicate = (
+            compile_predicate_batch(plan.predicate, plan.schema)
+            if plan.predicate is not None
+            else None
+        )
+        self._rows: Optional[Iterator[Tuple[Any, ...]]] = None
+
+    def _open(self):
+        self._rows = None  # created lazily so the first page read is timed
+
+    def _next_batch(self, max_rows=None) -> Optional[Batch]:
+        if self._rows is None:
+            self._rows = self.plan.table.heap.scan_rows()
+        n = self._target(max_rows)
+        metrics = self.ctx.metrics
+        predicate = self.predicate
+        while True:
+            batch = list(islice(self._rows, n))
+            if not batch:
+                return None
+            metrics.rows_scanned += len(batch)
+            if predicate is None:
+                return batch
+            mask = predicate(batch)
+            out = [row for row, keep in zip(batch, mask) if keep]
+            if out:
+                return out
+            # whole batch filtered out: pull more instead of going empty
+
+    def _close(self):
+        self._rows = None
+
+
+def _index_bounds(plan) -> Tuple[Any, Any, bool, bool]:
+    low = None if plan.low.unbounded else plan.low.value
+    high = None if plan.high.unbounded else plan.high.value
+    return low, high, plan.low.inclusive, plan.high.inclusive
+
+
+@operator_for(PIndexScan)
+class IndexScanOp(Operator):
+    """B+-tree range scan (or hash equality probe) fetching heap rows."""
+
+    def __init__(self, plan, ctx):
+        super().__init__(plan, ctx)
+        self.residual = (
+            compile_predicate_batch(plan.residual, plan.schema)
+            if plan.residual is not None
+            else None
+        )
+        self._rows: Optional[Iterator[Tuple[Any, ...]]] = None
+
+    def _open(self):
+        self._rows = None
+
+    def _start(self) -> Iterator[Tuple[Any, Any]]:
+        plan = self.plan
+        index = plan.index
+        if index.kind is IndexKind.HASH:
+            if not plan.is_equality:
+                raise PhysicalError("hash index supports only equality probes")
+            rids = index.structure.search(plan.low.value)
+            return iter([(plan.low.value, rid) for rid in rids])
+        low, high, li, hi = _index_bounds(plan)
+        return index.structure.range_scan(low, high, li, hi)
+
+    def _fetched(self) -> Iterator[Tuple[Any, ...]]:
+        # interleave index-entry iteration with heap fetches so the page
+        # access pattern (and hence the buffer pool's hit/read split) is
+        # the same at every batch size
+        fetch = self.plan.table.heap.fetch
+        for _, rid in self._start():
+            row = fetch(rid)
+            if row is None:
+                continue  # deleted since the index entry was made
+            yield row
+
+    def _next_batch(self, max_rows=None) -> Optional[Batch]:
+        if self._rows is None:
+            self._rows = self._fetched()
+        n = self._target(max_rows)
+        metrics = self.ctx.metrics
+        residual = self.residual
+        while True:
+            batch = list(islice(self._rows, n))
+            if not batch:
+                return None
+            metrics.rows_scanned += len(batch)
+            if residual is not None:
+                mask = residual(batch)
+                batch = [row for row, keep in zip(batch, mask) if keep]
+            if batch:
+                return batch
+
+    def _close(self):
+        self._rows = None
+
+
+@operator_for(PIndexOnlyScan)
+class IndexOnlyScanOp(Operator):
+    """Answer directly from index entries (key column only, no heap I/O)."""
+
+    def __init__(self, plan, ctx):
+        super().__init__(plan, ctx)
+        if plan.index.kind is not IndexKind.BTREE:
+            raise PhysicalError("index-only scans require a btree index")
+        self._entries = None
+
+    def _open(self):
+        self._entries = None
+
+    def _next_batch(self, max_rows=None) -> Optional[Batch]:
+        if self._entries is None:
+            low, high, li, hi = _index_bounds(self.plan)
+            self._entries = self.plan.index.structure.range_scan(
+                low, high, li, hi
+            )
+        batch = [
+            (key,)
+            for key, _rid in islice(self._entries, self._target(max_rows))
+        ]
+        if not batch:
+            return None
+        self.ctx.metrics.rows_scanned += len(batch)
+        return batch
+
+    def _close(self):
+        self._entries = None

@@ -10,8 +10,7 @@ SQL ordering semantics used throughout the executor:
 
 from __future__ import annotations
 
-import functools
-from typing import Any, Callable, List, Sequence, Tuple
+from typing import Any, Callable, List, Sequence
 
 
 class _KeyPart:

@@ -32,7 +32,6 @@ from .nodes import (
     Negate,
     Not,
     and_,
-    or_,
     walk,
 )
 

@@ -23,7 +23,7 @@ Page formats::
 from __future__ import annotations
 
 import struct
-from bisect import bisect_left, bisect_right, insort
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Tuple
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
 
-from ..catalog import IndexInfo, IndexKind, TableInfo
+from ..catalog import IndexKind, TableInfo
 from ..expr import (
     CmpOp,
     ColCmpConst,

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..algebra import JoinGraph
 from ..expr import conjoin

@@ -22,8 +22,7 @@ Planning-effort counters (subsets and plans considered) feed experiment E5.
 from __future__ import annotations
 
 import itertools
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..algebra import JoinGraph
@@ -34,17 +33,9 @@ from ..expr import (
     classify_conjunct,
     conjoin,
 )
-from ..physical import (
-    PFilter,
-    PHashJoin,
-    PIndexNLJoin,
-    PNestedLoopJoin,
-    PSort,
-    PSortMergeJoin,
-    PhysicalPlan,
-)
+from ..physical import PHashJoin, PIndexNLJoin, PNestedLoopJoin, PSort, PSortMergeJoin, PhysicalPlan
 from ..types import Schema
-from .access import ScanCandidate, access_paths
+from .access import access_paths
 from .cost import Cost, CostModel
 from .estimate import Estimator, pages_for
 

@@ -66,6 +66,53 @@ class PhysicalPlan:
     def describe(self) -> str:  # pragma: no cover - overridden
         return type(self).__name__
 
+    # -- actuals protocol (the executor's only write interface) -------------
+
+    def reset_actuals(self) -> None:
+        """Clear this subtree's actuals before a fresh execution.
+
+        ``actual_rows`` stays ``None`` at OFF instrumentation; the other
+        fields are only filled at FULL.
+        """
+        self.actual_rows = None
+        self.actual_loops = 0
+        self.actual_time_ms = None
+        self.actual_hits = None
+        self.actual_reads = None
+        self.actual_writes = None
+        for child in self.children():
+            child.reset_actuals()
+
+    def start_loop(self) -> None:
+        """Record one (re)start of this node's iteration (a nested loop's
+        inner side starts once per outer block)."""
+        self.actual_loops += 1
+
+    def accumulate_actuals(
+        self,
+        rows: int = 0,
+        time_ms: Optional[float] = None,
+        hits: Optional[int] = None,
+        reads: Optional[int] = None,
+        writes: Optional[int] = None,
+    ) -> None:
+        """Fold one batch's measurements into the running totals.
+
+        Totals accumulate across rescans; the first call flips the
+        ``None`` sentinels to real counters so partially-executed nodes
+        (LIMIT-abandoned subtrees, mid-operator errors) still report what
+        they did.
+        """
+        self.actual_rows = (self.actual_rows or 0) + rows
+        if time_ms is not None:
+            self.actual_time_ms = (self.actual_time_ms or 0.0) + time_ms
+        if hits is not None:
+            self.actual_hits = (self.actual_hits or 0) + hits
+        if reads is not None:
+            self.actual_reads = (self.actual_reads or 0) + reads
+        if writes is not None:
+            self.actual_writes = (self.actual_writes or 0) + writes
+
     def q_error(self) -> Optional[float]:
         """Cardinality estimation error (≥ 1) once actuals are known."""
         if self.actual_rows is None:

@@ -15,7 +15,7 @@ from __future__ import annotations
 import enum
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional
+from typing import Iterator, Optional
 
 from .disk import DiskManager, PageId
 

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import struct
 from datetime import date
-from typing import Any, Sequence, Tuple
+from functools import lru_cache
+from typing import Any, Optional, Sequence, Tuple
 
 from ..types import DataType, Schema
 
@@ -28,6 +29,46 @@ class RecordError(Exception):
 
 
 MAX_TEXT_BYTES = 0xFFFF
+
+_TEXT_LEN = struct.Struct(">H")
+
+_FIXED_CODES = {
+    DataType.INT: "q",
+    DataType.FLOAT: "d",
+    DataType.BOOL: "?",
+    DataType.DATE: "I",
+}
+
+
+@lru_cache(maxsize=256)
+def _fast_segments(dtypes: Tuple[DataType, ...]):
+    """Precompiled decode plan for rows with no NULL columns.
+
+    Consecutive fixed-width columns collapse into one ``struct.Struct``;
+    TEXT columns (variable length) break the runs.  Each segment is either
+    ``(struct, date_positions)`` or ``None`` for a TEXT column.
+    """
+    segments = []
+    run: list = []
+    date_positions: list = []
+    for dtype in dtypes:
+        code = _FIXED_CODES.get(dtype)
+        if code is None:  # TEXT
+            if run:
+                segments.append(
+                    (struct.Struct(">" + "".join(run)), tuple(date_positions))
+                )
+                run, date_positions = [], []
+            segments.append(None)
+        else:
+            if dtype is DataType.DATE:
+                date_positions.append(len(run))
+            run.append(code)
+    if run:
+        segments.append(
+            (struct.Struct(">" + "".join(run)), tuple(date_positions))
+        )
+    return tuple(segments)
 
 
 def serialize_row(schema: Schema, row: Sequence[Any]) -> bytes:
@@ -61,6 +102,38 @@ def serialize_row(schema: Schema, row: Sequence[Any]) -> bytes:
     return b"".join(parts)
 
 
+def _deserialize_fast(
+    dtypes: Tuple[DataType, ...], data: bytes, pos: int
+) -> Optional[Tuple[Any, ...]]:
+    """Decode a record known to have no NULLs; None on length mismatch
+    (caller falls back to the checked column-by-column path)."""
+    values: list = []
+    try:
+        for segment in _fast_segments(dtypes):
+            if segment is None:  # TEXT
+                (length,) = _TEXT_LEN.unpack_from(data, pos)
+                pos += 2
+                raw = data[pos : pos + length]
+                if len(raw) != length:
+                    return None
+                values.append(raw.decode("utf-8"))
+                pos += length
+            else:
+                fixed, date_positions = segment
+                part = fixed.unpack_from(data, pos)
+                if date_positions:
+                    part = list(part)
+                    for j in date_positions:
+                        part[j] = date.fromordinal(part[j])
+                values.extend(part)
+                pos += fixed.size
+    except struct.error:
+        return None
+    if pos != len(data):
+        return None
+    return tuple(values)
+
+
 def deserialize_row(schema: Schema, data: bytes) -> Tuple[Any, ...]:
     """Decode record bytes back into a row tuple."""
     ncols = len(schema)
@@ -69,6 +142,11 @@ def deserialize_row(schema: Schema, data: bytes) -> Tuple[Any, ...]:
         raise RecordError("record shorter than its null bitmap")
     bitmap = data[:bitmap_len]
     pos = bitmap_len
+    if not int.from_bytes(bitmap, "big"):
+        # no NULLs: take the precompiled fixed-layout fast path
+        row = _deserialize_fast(schema.dtypes(), data, pos)
+        if row is not None:
+            return row
     values = []
     for i, col in enumerate(schema):
         if bitmap[i // 8] & (1 << (i % 8)):

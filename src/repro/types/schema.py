@@ -52,7 +52,7 @@ class Schema:
     across qualifiers.
     """
 
-    __slots__ = ("_columns", "_by_qualified", "_by_name", "_hash")
+    __slots__ = ("_columns", "_by_qualified", "_by_name", "_hash", "_dtypes")
 
     def __init__(self, columns: Iterable[Column]):
         cols: Tuple[Column, ...] = tuple(columns)
@@ -70,6 +70,7 @@ class Schema:
         self._by_qualified = by_qualified
         self._by_name = by_name
         self._hash: Optional[int] = None
+        self._dtypes: Optional[Tuple[DataType, ...]] = None
 
     # -- container protocol -------------------------------------------------
 
@@ -81,6 +82,13 @@ class Schema:
 
     def __getitem__(self, index: int) -> Column:
         return self._columns[index]
+
+    def dtypes(self) -> Tuple[DataType, ...]:
+        """Column dtypes as a hashable tuple (cached — the row codec keys
+        its precompiled decode plans on it)."""
+        if self._dtypes is None:
+            self._dtypes = tuple(col.dtype for col in self._columns)
+        return self._dtypes
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Schema) and self._columns == other._columns

@@ -12,10 +12,9 @@ the knobs the estimation-accuracy experiments need:
 
 from __future__ import annotations
 
-import math
 import random
 import string
-from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 
 class Rng:

@@ -17,7 +17,7 @@ Table design:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List
 
 from ..engine import Database
 from .generators import Rng, shuffled_ints, uniform_floats, uniform_ints

@@ -10,7 +10,7 @@ chosen so the queries have meaningfully different good and bad plans
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 from ..engine import Database
 from .generators import (

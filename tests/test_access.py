@@ -6,7 +6,7 @@ import pytest
 
 from repro.algebra import LogicalGet, JoinGraph
 from repro.engine import Database
-from repro.expr import Between, col, eq, gt, lit, lt, ne
+from repro.expr import col, eq, gt, lit, lt, ne
 from repro.optimizer import (
     Estimator,
     StatsResolver,

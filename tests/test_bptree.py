@@ -2,10 +2,9 @@
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.index import BPlusTree, entry_lt, key_lt
+from repro.index import BPlusTree
 from repro.storage import BufferPool, DiskManager
 from repro.types import DataType
 

@@ -216,7 +216,7 @@ class TestCompositeOrderElision:
 
 class TestCompositeIndexNL:
     def test_join_probes_leading_component(self, db):
-        from repro.physical import PIndexNLJoin, walk_plan
+        from repro.physical import walk_plan
         from repro.optimizer import PlannerOptions
 
         db.execute("CREATE TABLE probe (uid INT)")

@@ -11,7 +11,6 @@ surface as result mismatches.
 """
 
 import itertools
-import math
 import random
 
 import pytest

@@ -3,16 +3,8 @@ physical plan rendering."""
 
 import pytest
 
-from repro.executor import (
-    ExecContext,
-    SortKey,
-    cmp_values,
-    make_key_fn,
-    read_spill,
-    sorted_rows,
-    spill_rows,
-)
-from repro.physical import PSeqScan, PhysicalPlan, RangeBound
+from repro.executor import ExecContext, cmp_values, make_key_fn, read_spill, sorted_rows, spill_rows
+from repro.physical import PSeqScan, RangeBound
 from repro.storage import BufferPool, DiskManager
 from repro.types import DataType, schema_of
 

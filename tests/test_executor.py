@@ -5,10 +5,9 @@ import random
 
 import pytest
 
-from repro.catalog import Catalog
 from repro.engine import Database
 from repro.executor import ExecContext, run
-from repro.expr import AggCall, AggFunc, and_, col, eq, gt, lit, lt
+from repro.expr import AggCall, AggFunc, col, eq, gt, lit
 from repro.physical import (
     PAggregate,
     PDistinct,

@@ -9,11 +9,9 @@ from repro.expr import (
     CmpOp,
     ColCmpConst,
     ColEqCol,
-    Comparison,
     InList,
     IsNull,
     Like,
-    Not,
     and_,
     classify_conjunct,
     col,

@@ -4,9 +4,6 @@ import pytest
 
 from repro.algebra import (
     JoinGraphError,
-    LogicalFilter,
-    LogicalGet,
-    LogicalJoin,
     build_plan,
     extract_join_graph,
     is_join_region,

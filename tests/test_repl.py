@@ -3,7 +3,6 @@
 import subprocess
 import sys
 
-import pytest
 
 
 def run_repl(script: str, timeout: int = 60) -> str:
