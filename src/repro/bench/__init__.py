@@ -12,6 +12,7 @@ from . import (
     e11_ablations,
     e12_scaling,
     e13_batching,
+    e14_parallel,
 )
 from .figures import chart_from_table, line_chart
 from .measure import (
@@ -34,7 +35,7 @@ from .tables import (
 __all__ = [
     "e1_join_methods", "e2_access_paths", "e4_plan_quality", "e6_estimation",
     "e7_interesting_orders", "e8_buffer_sweep", "e9_rewrites", "e10_wholesale",
-    "e11_ablations", "e12_scaling", "e13_batching",
+    "e11_ablations", "e12_scaling", "e13_batching", "e14_parallel",
     "Measurement", "fresh_db", "measure_plan", "measure_query",
     "plan_with_strategy", "time_planning", "Ratio", "ResultTable",
     "geometric_mean", "q_error", "quantile", "render_all",

@@ -717,6 +717,11 @@ class Database:
                 m.counter("temp_files_total").inc(
                     result.exec_metrics.temp_files
                 )
+                if result.exec_metrics.parallel_regions:
+                    m.counter("parallel_queries_total").inc()
+                    m.counter("parallel_workers_total").inc(
+                        result.exec_metrics.parallel_workers
+                    )
             m.gauge("buffer_hit_ratio").set(self.pool.stats.hit_rate)
         if sql is not None and self.query_log.capacity > 0:
             self.query_log.record(
@@ -736,6 +741,11 @@ class Database:
                     ),
                     temp_files=(
                         result.exec_metrics.temp_files
+                        if result.exec_metrics
+                        else 0
+                    ),
+                    parallel_workers=(
+                        result.exec_metrics.parallel_workers
                         if result.exec_metrics
                         else 0
                     ),

@@ -14,11 +14,12 @@ instrumentation overhead (results are identical at any size).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator, List, Sequence, Tuple
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from ..obs import InstrumentLevel
 from ..storage import BufferPool, HeapFile
 from ..types import Schema
+from .partition import PartitionContext
 
 
 @dataclass
@@ -31,6 +32,19 @@ class ExecMetrics:
     hash_probes: int = 0
     temp_files: int = 0
     spills: int = 0
+    parallel_regions: int = 0
+    parallel_workers: int = 0
+
+    def absorb(self, other: "ExecMetrics") -> None:
+        """Fold a worker's counters into this (parent) context's metrics."""
+        self.rows_scanned += other.rows_scanned
+        self.rows_emitted += other.rows_emitted
+        self.comparisons += other.comparisons
+        self.hash_probes += other.hash_probes
+        self.temp_files += other.temp_files
+        self.spills += other.spills
+        self.parallel_regions += other.parallel_regions
+        self.parallel_workers += other.parallel_workers
 
 
 class ExecContext:
@@ -47,6 +61,7 @@ class ExecContext:
         work_mem_pages: int = 64,
         instrument: InstrumentLevel = InstrumentLevel.ROWS,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        partition: Optional[PartitionContext] = None,
     ):
         if work_mem_pages < 3:
             raise ValueError("work memory must be at least 3 pages")
@@ -56,6 +71,9 @@ class ExecContext:
         self.work_mem_pages = work_mem_pages
         self.instrument = instrument
         self.batch_size = batch_size
+        #: set only inside a parallel worker: which exchange partition this
+        #: execution computes (partition-aware operators consult it)
+        self.partition = partition
         self.metrics = ExecMetrics()
         self._temp_counter = 0
         self._temp_files: List[HeapFile] = []

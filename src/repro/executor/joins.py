@@ -27,6 +27,7 @@ from .operator import (
     build_operator,
     operator_for,
 )
+from .partition import partition_hash
 from .sortutil import cmp_values
 
 
@@ -375,15 +376,4 @@ class HashJoinOp(_BinaryJoinOp):
 def _partition_insert(parts, key: Any, row: Row, fanout: int) -> None:
     if key is None:
         return  # NULL keys never join
-    parts[_stable_hash(key) % fanout].insert(row)
-
-
-def _stable_hash(key: Any) -> int:
-    if isinstance(key, str):
-        h = 2166136261
-        for b in key.encode("utf-8"):
-            h = ((h ^ b) * 16777619) & 0xFFFFFFFF
-        return h
-    if isinstance(key, float) and key.is_integer():
-        key = int(key)
-    return hash(key) & 0xFFFFFFFF
+    parts[partition_hash(key) % fanout].insert(row)

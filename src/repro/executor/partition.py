@@ -1,0 +1,88 @@
+"""Partitioning primitives shared by parallel exchange and Grace hashing.
+
+Intra-query parallelism splits a read-only pipeline into ``degree``
+disjoint partitions, one per worker.  Two schemes exist:
+
+* **Page-range partitioning** (:func:`page_range`): worker ``w`` of ``d``
+  scans the contiguous page slice ``[w*P//d, (w+1)*P//d)`` of a heap
+  file.  Concatenating worker outputs in worker order reproduces the
+  serial scan order exactly, which is what makes parallel plans
+  bit-identical to serial ones.
+* **Hash partitioning** (:func:`partition_of`): a row belongs to
+  partition ``partition_hash(key) % degree``.  Equal keys always land in
+  the same partition — the property co-partitioned parallel hash joins
+  rely on — and the hash is stable across processes and interpreter
+  runs (``PYTHONHASHSEED`` never leaks in).
+
+``partition_hash`` is also the Grace hash join's spill-partitioning
+function (it predates this module and moved here so both users share one
+definition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+
+@dataclass(frozen=True)
+class PartitionContext:
+    """Which partition of a parallel exchange this execution computes.
+
+    Placed on the worker's :class:`~repro.executor.context.ExecContext`;
+    partition-aware operators (partitioned scans, partition filters) read
+    it at runtime.  ``worker`` is 0-based; ``degree`` is the total worker
+    count.  Serial execution has no partition context at all.
+    """
+
+    worker: int
+    degree: int
+
+    def __post_init__(self):
+        if self.degree < 1:
+            raise ValueError("partition degree must be at least 1")
+        if not 0 <= self.worker < self.degree:
+            raise ValueError(
+                f"worker {self.worker} out of range for degree {self.degree}"
+            )
+
+
+def partition_hash(key: Any) -> int:
+    """Stable 32-bit hash used for hash partitioning.
+
+    Properties the correctness arguments rely on:
+
+    * deterministic across processes (no ``PYTHONHASHSEED`` dependence
+      for strings — FNV-1a over the UTF-8 bytes),
+    * equal SQL values hash equal even across numeric types
+      (``1 == 1.0`` → integral floats are canonicalized to int),
+    * ``True == 1`` follows from Python's own bool/int identity.
+    """
+    if isinstance(key, str):
+        h = 2166136261
+        for b in key.encode("utf-8"):
+            h = ((h ^ b) * 16777619) & 0xFFFFFFFF
+        return h
+    if isinstance(key, float) and key.is_integer():
+        key = int(key)
+    return hash(key) & 0xFFFFFFFF
+
+
+def partition_of(key: Any, degree: int) -> int:
+    """Partition index for *key*: NULLs go to partition 0 (they never
+    match a join, but every input row must land in exactly one partition
+    so that hash partitioning is an exact partition of the multiset)."""
+    if key is None:
+        return 0
+    return partition_hash(key) % degree
+
+
+def page_range(num_pages: int, worker: int, degree: int) -> Tuple[int, int]:
+    """Contiguous page slice ``[first, last)`` for *worker* of *degree*.
+
+    Ranges are disjoint, cover ``[0, num_pages)`` exactly, and are in
+    worker order — so worker-order concatenation preserves page order.
+    """
+    first = worker * num_pages // degree
+    last = (worker + 1) * num_pages // degree
+    return first, last

@@ -20,11 +20,18 @@ from ..physical import (
     PhysicalError,
 )
 from .operator import Batch, Operator, operator_for
+from .partition import page_range
 
 
 @operator_for(PSeqScan)
 class SeqScanOp(Operator):
-    """Full heap scan with an optional pushed-down predicate."""
+    """Heap scan (full, or one page-range partition) with an optional
+    pushed-down predicate.
+
+    A scan marked ``parallel`` running inside a worker (the context
+    carries a partition) reads only its contiguous page slice; anywhere
+    else it degrades to a plain full scan.
+    """
 
     def __init__(self, plan, ctx):
         super().__init__(plan, ctx)
@@ -38,9 +45,17 @@ class SeqScanOp(Operator):
     def _open(self):
         self._rows = None  # created lazily so the first page read is timed
 
+    def _start_scan(self) -> Iterator[Tuple[Any, ...]]:
+        heap = self.plan.table.heap
+        part = self.ctx.partition
+        if self.plan.parallel and part is not None:
+            first, last = page_range(heap.num_pages, part.worker, part.degree)
+            return heap.scan_rows(first, last)
+        return heap.scan_rows()
+
     def _next_batch(self, max_rows=None) -> Optional[Batch]:
         if self._rows is None:
-            self._rows = self.plan.table.heap.scan_rows()
+            self._rows = self._start_scan()
         n = self._target(max_rows)
         metrics = self.ctx.metrics
         predicate = self.predicate

@@ -65,6 +65,7 @@ class QueryLogRecord:
     execution_ms: float
     spills: int = 0
     temp_files: int = 0
+    parallel_workers: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         return asdict(self)

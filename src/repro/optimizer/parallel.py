@@ -1,0 +1,307 @@
+"""Parallel plan alternatives: exchange placement over partitionable shapes.
+
+Three shapes are order-exact (parallel output is bit-identical to serial
+execution), and they are the only ones this module produces:
+
+* **Partitioned pipeline** — a chain of row-wise operators
+  ({Filter, Project, Narrow}) over a ``PSeqScan``: the scan is marked
+  parallel (each worker reads a contiguous page slice) and the gather
+  concatenates in worker order, which *is* the serial scan order.
+* **Replicated-build join spine** — the pipeline may pass through hash
+  joins (probe side) and index nested-loop joins (outer side): the probe
+  side partitions by pages, every worker builds the full build side (or
+  probes the shared index), and worker-order concatenation restores the
+  serial probe order.  Only chosen when the build side is estimated to
+  fit in work memory — a spilling (Grace) hash join reorders output and
+  would break bit-identity.
+* **Co-partitioned hash join** — both inputs pass through hash-partition
+  filters on their join keys, so equal keys meet in exactly one worker.
+  A hidden ordinal assigned below the probe-side filter records the
+  serial probe order; the gather k-way-merges on it and strips it.
+
+Two more transformations push work through an existing concat gather:
+
+* **Two-phase aggregation** — the aggregate splits into a partial phase
+  inside the exchange (emitting mergeable accumulator states) and a
+  final phase above the gather.  Only for *exactly mergeable* aggregates:
+  COUNT/MIN/MAX of anything, SUM/AVG of integers.  Float SUM/AVG stays
+  single-phase (float addition is not associative — merging per-worker
+  sums would change low-order bits).
+* **Parallel sort** — each worker sorts its partition; the gather
+  k-way-merges on the sort keys with worker index as tie-break, which
+  equals the serial stable sort bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Tuple
+
+from ..expr import AggFunc
+from ..physical import (
+    PAggregate,
+    PExchange,
+    PFilter,
+    PGather,
+    PHashJoin,
+    PIndexNLJoin,
+    PNarrow,
+    POrdinal,
+    PPartitionFilter,
+    PProject,
+    PSeqScan,
+    PSort,
+    PhysicalPlan,
+)
+from ..types import DataType
+from .cost import Cost, CostModel
+from .estimate import pages_for
+
+#: row-wise unary operators that commute with worker-order concatenation
+_ROW_WISE = (PFilter, PProject, PNarrow)
+
+
+def _copy_est(clone: PhysicalPlan, node: PhysicalPlan) -> None:
+    clone.est_rows = node.est_rows
+    clone.est_cost = node.est_cost
+
+
+def _annotate(node: PhysicalPlan, rows: float, cost: Cost) -> PhysicalPlan:
+    node.est_rows = rows
+    node.est_cost = cost
+    return node
+
+
+def _build_fits(
+    build: PhysicalPlan, model: CostModel, page_size: int
+) -> bool:
+    """Is the join's build side estimated to stay in memory?  (A spilled
+    build reorders output, which would break parallel bit-identity.)"""
+    pages = pages_for(
+        build.est_rows, build.schema.estimated_row_bytes(), page_size
+    )
+    return pages <= model.work_mem_pages
+
+
+def _parallel_spine(
+    plan: PhysicalPlan, model: CostModel, page_size: int
+) -> Optional[Tuple[PhysicalPlan, Cost]]:
+    """Clone *plan* with its probe-side leaf scan marked parallel.
+
+    Returns ``(clone, replicated)`` where *replicated* is the cost share
+    every worker pays in full (build sides), or ``None`` when the shape
+    does not page-partition exactly.
+    """
+    if isinstance(plan, PSeqScan):
+        if plan.parallel:
+            return None
+        clone = replace(plan, parallel=True)
+        _copy_est(clone, plan)
+        return clone, model.zero()
+    if isinstance(plan, _ROW_WISE):
+        sub = _parallel_spine(plan.child, model, page_size)
+        if sub is None:
+            return None
+        child, rep = sub
+        clone = replace(plan, child=child)
+        _copy_est(clone, plan)
+        return clone, rep
+    if isinstance(plan, PHashJoin):
+        if not _build_fits(plan.right, model, page_size):
+            return None
+        sub = _parallel_spine(plan.left, model, page_size)
+        if sub is None:
+            return None
+        left, rep = sub
+        clone = replace(plan, left=left)
+        _copy_est(clone, plan)
+        build_cost = plan.right.est_cost
+        if build_cost is not None:
+            rep = rep + build_cost
+        return clone, rep
+    if isinstance(plan, PIndexNLJoin):
+        sub = _parallel_spine(plan.left, model, page_size)
+        if sub is None:
+            return None
+        left, rep = sub
+        clone = replace(plan, left=left)
+        _copy_est(clone, plan)
+        return clone, rep
+    return None
+
+
+def page_partitioned(
+    plan: PhysicalPlan,
+    rows: float,
+    model: CostModel,
+    degree: int,
+    page_size: int,
+) -> Optional[Tuple[PGather, Cost]]:
+    """Page-partitioned gather over *plan* (pipeline or replicated-build
+    spine), or ``None`` when the shape does not qualify."""
+    sub = _parallel_spine(plan, model, page_size)
+    if sub is None:
+        return None
+    clone, rep = sub
+    serial = plan.est_cost if plan.est_cost is not None else model.zero()
+    cost = model.exchange(serial, degree, rows, replicated=rep)
+    exchange = PExchange(clone, degree, mode="pages")
+    _annotate(exchange, rows, cost)
+    gather = PGather(exchange)
+    _annotate(gather, rows, cost)
+    return gather, cost
+
+
+def co_partitioned(
+    plan: PhysicalPlan,
+    rows: float,
+    model: CostModel,
+    degree: int,
+    page_size: int,
+) -> Optional[Tuple[PGather, Cost]]:
+    """Hash co-partitioned parallel join over a root ``PHashJoin``.
+
+    Every worker scans both inputs fully but keeps only its hash
+    partition of each, so CPU divides by the degree while I/O does not —
+    the cost model reflects exactly that.
+    """
+    if not isinstance(plan, PHashJoin):
+        return None
+    if not _build_fits(plan.right, model, page_size):
+        return None
+    probe, build = plan.left, plan.right
+    ordinal = POrdinal(probe)
+    _copy_est(ordinal, probe)
+    probe_part = PPartitionFilter(ordinal, plan.left_key)
+    _annotate(probe_part, probe.est_rows / degree, probe.est_cost)
+    build_part = PPartitionFilter(build, plan.right_key)
+    _annotate(build_part, build.est_rows / degree, build.est_cost)
+    join = replace(plan, left=probe_part, right=build_part)
+    _copy_est(join, plan)
+
+    serial = plan.est_cost if plan.est_cost is not None else model.zero()
+    # partition-filter hashing touches every input row in every worker
+    serial = serial + model.filter(probe.est_rows + build.est_rows)
+    replicated = Cost(serial.io, 0.0, serial.cpu_weight)
+    cost = model.exchange(serial, degree, rows, replicated=replicated)
+    exchange = PExchange(join, degree, mode="hash")
+    _annotate(exchange, rows, cost)
+    # the hidden ordinal sits right after the probe side's own columns
+    gather = PGather(exchange, ordinal=len(probe.schema))
+    _annotate(gather, rows, cost)
+    return gather, cost
+
+
+def region_alternatives(
+    plan: PhysicalPlan,
+    rows: float,
+    model: CostModel,
+    degree: int,
+    page_size: int,
+) -> List[Tuple[PGather, Cost]]:
+    """Every exact parallel alternative for a region's chosen serial plan."""
+    out = []
+    for builder in (page_partitioned, co_partitioned):
+        alt = builder(plan, rows, model, degree, page_size)
+        if alt is not None:
+            out.append(alt)
+    return out
+
+
+# -- pushing work through an existing concat gather --------------------------
+
+
+def _concat_gather_chain(
+    plan: PhysicalPlan,
+) -> Optional[Tuple[PhysicalPlan, PExchange]]:
+    """If *plan* is a chain of row-wise operators over a concat-merge
+    gather, rebuild the chain *inside* the exchange and return
+    ``(inner_pipeline, exchange)``.  Row-wise operators commute with
+    worker-order concatenation, so this is an exact rewrite."""
+    chain: List[PhysicalPlan] = []
+    node = plan
+    while isinstance(node, _ROW_WISE):
+        chain.append(node)
+        node = node.child
+    if not isinstance(node, PGather):
+        return None
+    if node.ordinal is not None or node.merge_keys:
+        return None
+    exchange = node.child
+    inner = exchange.child
+    for op in reversed(chain):
+        clone = replace(op, child=inner)
+        _copy_est(clone, op)
+        inner = clone
+    return inner, exchange
+
+
+def exactly_mergeable(aggs, child_schema) -> bool:
+    """Can these aggregates split into partial/final phases without
+    changing a single bit of the result?  COUNT/MIN/MAX always merge
+    exactly; SUM/AVG only over integers (integer addition is associative,
+    float addition is not)."""
+    from ..expr import infer_expr_type
+
+    for agg in aggs:
+        if agg.func in (AggFunc.COUNT, AggFunc.MIN, AggFunc.MAX):
+            continue
+        if agg.arg is None:
+            return False
+        try:
+            dtype = infer_expr_type(agg.arg, child_schema)
+        except Exception:
+            return False
+        if dtype is not DataType.INT:
+            return False
+    return True
+
+
+def push_partial_aggregate(
+    plan: PhysicalPlan,
+    group_exprs,
+    group_names,
+    aggs,
+    out_schema,
+    groups: float,
+) -> Optional[Tuple[PhysicalPlan, PGather]]:
+    """Split an aggregate over a concat gather into partial (inside the
+    exchange) and final (above it).  Returns ``(final_plan, gather)`` or
+    ``None`` when the child shape does not allow it.  Caller is
+    responsible for checking :func:`exactly_mergeable` and for costing."""
+    rebuilt = _concat_gather_chain(plan)
+    if rebuilt is None:
+        return None
+    inner, exchange = rebuilt
+    if not exactly_mergeable(aggs, inner.schema):
+        return None
+    partial = PAggregate(
+        inner, group_exprs, group_names, aggs, out_schema, mode="partial"
+    )
+    new_exchange = PExchange(partial, exchange.degree, exchange.mode)
+    gather = PGather(new_exchange)
+    final = PAggregate(
+        gather, group_exprs, group_names, aggs, out_schema, mode="final"
+    )
+    _annotate(partial, groups, exchange.est_cost)
+    _annotate(new_exchange, groups * exchange.degree, exchange.est_cost)
+    _annotate(gather, groups * exchange.degree, exchange.est_cost)
+    return final, gather
+
+
+def push_parallel_sort(
+    plan: PhysicalPlan, keys
+) -> Optional[PGather]:
+    """Sort inside each worker, merge on the keys in the gather (worker
+    index breaks ties — equal to the serial stable sort)."""
+    rebuilt = _concat_gather_chain(plan)
+    if rebuilt is None:
+        return None
+    inner, exchange = rebuilt
+    sort = PSort(inner, keys)
+    _annotate(sort, inner.est_rows, inner.est_cost)
+    new_exchange = PExchange(sort, exchange.degree, exchange.mode)
+    _copy_est(new_exchange, exchange)
+    gather = PGather(new_exchange, merge_keys=tuple(keys))
+    _copy_est(gather, exchange)
+    return gather

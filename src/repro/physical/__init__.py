@@ -1,9 +1,12 @@
 """Physical plan operators with cost/cardinality annotations."""
 
 from .plan import (
+    ORDINAL_COLUMN,
     PAggregate,
     PDistinct,
+    PExchange,
     PFilter,
+    PGather,
     PHashJoin,
     PIndexNLJoin,
     PIndexOnlyScan,
@@ -12,6 +15,8 @@ from .plan import (
     PMaterialize,
     PNarrow,
     PNestedLoopJoin,
+    POrdinal,
+    PPartitionFilter,
     PProject,
     PSeqScan,
     PSort,
@@ -19,12 +24,15 @@ from .plan import (
     PhysicalError,
     PhysicalPlan,
     RangeBound,
+    contains_parallel,
     walk_plan,
 )
 
 __all__ = [
-    "PAggregate", "PDistinct", "PFilter", "PHashJoin", "PIndexNLJoin",
-    "PIndexOnlyScan", "PIndexScan", "PLimit", "PMaterialize", "PNarrow",
-    "PNestedLoopJoin", "PProject", "PSeqScan", "PSort", "PSortMergeJoin",
-    "PhysicalError", "PhysicalPlan", "RangeBound", "walk_plan",
+    "ORDINAL_COLUMN", "PAggregate", "PDistinct", "PExchange", "PFilter",
+    "PGather", "PHashJoin", "PIndexNLJoin", "PIndexOnlyScan", "PIndexScan",
+    "PLimit", "PMaterialize", "PNarrow", "PNestedLoopJoin", "POrdinal",
+    "PPartitionFilter", "PProject", "PSeqScan", "PSort", "PSortMergeJoin",
+    "PhysicalError", "PhysicalPlan", "RangeBound", "contains_parallel",
+    "walk_plan",
 ]

@@ -1,0 +1,25 @@
+"""Quality-assurance toolkit: reference evaluation and random query
+generation for differential testing.
+
+:mod:`.reference` holds the brute-force evaluator that the differential
+tests compare the engine against; :mod:`.randomqueries` generates seeded
+random query workloads (SQL paired with a reference answer) and emits
+self-contained repro scripts for failures.
+"""
+
+from .randomqueries import (
+    QueryCase,
+    RandomWorkload,
+    make_dataset,
+    repro_script,
+)
+from .reference import Reference, approx_rows
+
+__all__ = [
+    "QueryCase",
+    "RandomWorkload",
+    "make_dataset",
+    "repro_script",
+    "Reference",
+    "approx_rows",
+]

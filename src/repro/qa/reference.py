@@ -1,0 +1,53 @@
+"""Brute-force reference evaluation for differential testing.
+
+The :class:`Reference` evaluator answers queries over plain Python lists
+of dict rows by materializing cross products and filtering in Python —
+no planner, no operators, no buffer pool.  Slow and obviously correct,
+which is the point: any divergence between it and the engine is an
+engine bug.
+
+:func:`approx_rows` canonicalizes result sets for comparison: floats are
+rounded (so reference arithmetic and engine arithmetic, which may sum in
+different orders, agree) and rows are sorted by ``repr`` (so unordered
+queries compare as multisets).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+
+def approx_rows(rows: Sequence[Sequence[Any]]) -> List[Tuple[Any, ...]]:
+    """Canonical multiset form of a result: floats rounded to 6 places,
+    rows sorted by ``repr`` (mixed types sort without TypeError)."""
+    out = []
+    for row in rows:
+        out.append(
+            tuple(round(v, 6) if isinstance(v, float) else v for v in row)
+        )
+    return sorted(out, key=repr)
+
+
+class Reference:
+    """Brute-force evaluation over plain Python lists of dict rows."""
+
+    def __init__(self, tables: Dict[str, List[Dict[str, Any]]]):
+        self.tables = tables  # name -> list of dict rows
+
+    def join(
+        self, bindings: Sequence[Tuple[str, str]]
+    ) -> Iterator[Dict[str, Any]]:
+        """Cross product of the bound tables as ``binding.column`` dicts.
+
+        *bindings* is a list of ``(binding_name, table_name)`` pairs, so
+        self-joins bind the same table twice under different names.
+        """
+        names = [b for b, _ in bindings]
+        lists = [self.tables[t] for _, t in bindings]
+        for combo in itertools.product(*lists):
+            row: Dict[str, Any] = {}
+            for binding, partial in zip(names, combo):
+                for key, value in partial.items():
+                    row[f"{binding}.{key}"] = value
+            yield row

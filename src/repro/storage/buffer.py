@@ -8,11 +8,20 @@ modeling.
 
 Frames hold ``bytearray`` page images.  A dirty frame is written back when
 evicted or on ``flush_all``.
+
+The pool is thread-safe: a single reentrant lock serializes every public
+entry point, so concurrent pin/unpin/read from multiple threads can never
+interleave a lookup with an eviction (the classic fix-vs-evict race) or
+lose stats increments.  Parallel query *workers* are separate processes
+with their own pool, so they never contend on this lock — it exists for
+in-process threading (tests, future background writers) and costs one
+uncontended acquire per call.
 """
 
 from __future__ import annotations
 
 import enum
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator, Optional
@@ -90,75 +99,91 @@ class BufferPool:
         # sweep it with a persistent hand index.
         self._frames: "OrderedDict[PageId, _Frame]" = OrderedDict()
         self._clock_hand = 0
+        # Reentrant so internal helpers may call public methods (new_page
+        # formatting paths fix/unfix while already holding the lock).
+        self._lock = threading.RLock()
 
     # -- public protocol -----------------------------------------------------------
 
     def fix(self, page_id: PageId) -> bytearray:
         """Pin a page and return its in-pool image (mutable, shared)."""
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            self.stats.hits += 1
-            self._touch(frame)
-        else:
-            self.stats.misses += 1
-            self._ensure_capacity()
-            frame = _Frame(page_id, self.disk.read_page(page_id))
-            self._frames[page_id] = frame
-        frame.pin_count += 1
-        return frame.data
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self.stats.hits += 1
+                self._touch(frame)
+            else:
+                self.stats.misses += 1
+                self._ensure_capacity()
+                frame = _Frame(page_id, self.disk.read_page(page_id))
+                self._frames[page_id] = frame
+            frame.pin_count += 1
+            return frame.data
 
     def unfix(self, page_id: PageId, dirty: bool = False) -> None:
         """Release one pin; mark the frame dirty if the caller modified it."""
-        frame = self._frames.get(page_id)
-        if frame is None or frame.pin_count <= 0:
-            raise BufferError_(f"unfix of page {page_id} that is not pinned")
-        frame.pin_count -= 1
-        if dirty:
-            frame.dirty = True
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None or frame.pin_count <= 0:
+                raise BufferError_(f"unfix of page {page_id} that is not pinned")
+            frame.pin_count -= 1
+            if dirty:
+                frame.dirty = True
 
     def new_page(self, file_id: int) -> PageId:
         """Allocate a fresh page on disk and fix it (pinned, zeroed)."""
-        page_id = self.disk.allocate_page(file_id)
-        self._ensure_capacity()
-        frame = _Frame(page_id, bytearray(self.disk.page_size))
-        frame.pin_count = 1
-        frame.dirty = True
-        self._frames[page_id] = frame
-        return page_id
+        with self._lock:
+            page_id = self.disk.allocate_page(file_id)
+            self._ensure_capacity()
+            frame = _Frame(page_id, bytearray(self.disk.page_size))
+            frame.pin_count = 1
+            frame.dirty = True
+            self._frames[page_id] = frame
+            return page_id
 
     def flush_all(self) -> None:
-        for frame in self._frames.values():
-            self._writeback(frame)
+        with self._lock:
+            for frame in self._frames.values():
+                self._writeback(frame)
 
     def clear(self) -> None:
         """Flush and drop every unpinned frame (used between experiments so
         runs start cold)."""
-        pinned = [f for f in self._frames.values() if f.pin_count > 0]
-        if pinned:
-            raise BufferError_(f"{len(pinned)} frames still pinned")
-        self.flush_all()
-        self._frames.clear()
-        self._clock_hand = 0
+        with self._lock:
+            pinned = [f for f in self._frames.values() if f.pin_count > 0]
+            if pinned:
+                raise BufferError_(f"{len(pinned)} frames still pinned")
+            self.flush_all()
+            self._frames.clear()
+            self._clock_hand = 0
 
     def discard_file(self, file_id: int) -> None:
         """Drop every frame of *file_id* without writeback (the file is
         being deleted).  Must be called before the disk file is dropped."""
-        doomed = [pid for pid in self._frames if pid[0] == file_id]
-        for pid in doomed:
-            frame = self._frames[pid]
-            if frame.pin_count > 0:
-                raise BufferError_(f"page {pid} of dropped file still pinned")
-            del self._frames[pid]
-        self._clock_hand = 0
+        with self._lock:
+            doomed = [pid for pid in self._frames if pid[0] == file_id]
+            for pid in doomed:
+                frame = self._frames[pid]
+                if frame.pin_count > 0:
+                    raise BufferError_(
+                        f"page {pid} of dropped file still pinned"
+                    )
+                del self._frames[pid]
+            self._clock_hand = 0
 
     def pinned_pages(self) -> Iterator[PageId]:
-        return (pid for pid, f in self._frames.items() if f.pin_count > 0)
+        with self._lock:
+            return iter(
+                [pid for pid, f in self._frames.items() if f.pin_count > 0]
+            )
 
     def contains(self, page_id: PageId) -> bool:
-        return page_id in self._frames
+        with self._lock:
+            return page_id in self._frames
 
     def reset_stats(self) -> None:
-        self.stats = BufferStats()
+        with self._lock:
+            self.stats = BufferStats()
 
     # -- internals --------------------------------------------------------------------
 

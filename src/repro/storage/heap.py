@@ -102,9 +102,18 @@ class HeapFile:
             return None
         return deserialize_row(self.schema, record)
 
-    def scan(self) -> Iterator[Tuple[RID, Tuple[Any, ...]]]:
-        """Full scan in page order, yielding ``(rid, row)``."""
-        for page_no in range(self.num_pages):
+    def scan(
+        self, first_page: int = 0, last_page: Optional[int] = None
+    ) -> Iterator[Tuple[RID, Tuple[Any, ...]]]:
+        """Scan pages ``[first_page, last_page)`` in order as ``(rid, row)``.
+
+        Defaults to a full scan.  The page-range form is how parallel
+        workers split a heap: disjoint ranges in worker order concatenate
+        to exactly the full-scan order.
+        """
+        if last_page is None:
+            last_page = self.num_pages
+        for page_no in range(first_page, min(last_page, self.num_pages)):
             page_id = (self.file_id, page_no)
             with PageGuard(self.pool, page_id) as data:
                 page = SlottedPage(data)
@@ -117,8 +126,10 @@ class HeapFile:
             for item in rows:
                 yield item
 
-    def scan_rows(self) -> Iterator[Tuple[Any, ...]]:
-        for _, row in self.scan():
+    def scan_rows(
+        self, first_page: int = 0, last_page: Optional[int] = None
+    ) -> Iterator[Tuple[Any, ...]]:
+        for _, row in self.scan(first_page, last_page):
             yield row
 
     # -- internals -----------------------------------------------------------------

@@ -8,44 +8,19 @@ duplicates, or aggregate values — is a planner/executor bug.
 This is the heavyweight correctness net over the optimizer: wrong join
 orders, broken predicate pushdown, bad index bounds or spill bugs all
 surface as result mismatches.
+
+The reference evaluator and result canonicalization live in
+:mod:`repro.qa.reference` so the random matrix tests
+(``test_differential_matrix.py``) and ad-hoc repro scripts share them.
 """
 
-import itertools
 import random
 
 import pytest
 
 from repro import Database
 from repro.optimizer import PlannerOptions
-
-
-def approx_rows(rows):
-    out = []
-    for row in rows:
-        out.append(
-            tuple(
-                round(v, 6) if isinstance(v, float) else v for v in row
-            )
-        )
-    return sorted(out, key=repr)
-
-
-class Reference:
-    """Brute-force evaluation over plain Python lists."""
-
-    def __init__(self, tables):
-        self.tables = tables  # name -> list of dict rows
-
-    def join(self, bindings):
-        """Cross product of the bound tables as dicts."""
-        names = [b for b, _ in bindings]
-        lists = [self.tables[t] for _, t in bindings]
-        for combo in itertools.product(*lists):
-            row = {}
-            for binding, partial in zip(names, combo):
-                for key, value in partial.items():
-                    row[f"{binding}.{key}"] = value
-            yield row
+from repro.qa import Reference, approx_rows
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,188 @@
+"""The differential test matrix: seeded random queries, every planner
+strategy, every batch size, every parallel degree — all against the
+brute-force reference evaluator in :mod:`repro.qa`.
+
+Failures print a pointer to a self-contained repro script (also written
+to ``repro_failures/`` when a failure occurs), so a red nightly run is
+reproducible from the artifact alone.
+
+The default (tier-1) run covers a rotating slice of the matrix; the
+``slow``-marked sweep runs the full ≥200-query matrix in nightly CI with
+a rotating seed taken from ``REPRO_MATRIX_SEED``.
+"""
+
+import itertools
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import Database
+from repro.optimizer import PlannerOptions
+from repro.qa import RandomWorkload, repro_script
+from repro.qa.randomqueries import load_dataset
+
+#: rotating nightly seed; defaults keep local runs deterministic
+SEED = int(os.environ.get("REPRO_MATRIX_SEED", "1977"))
+
+STRATEGIES = ["dp", "greedy", "syntactic"]
+BATCH_SIZES = [1, 64, 1024]
+DEGREES = [1, 2, 4]
+COMBOS = list(itertools.product(STRATEGIES, BATCH_SIZES, DEGREES))
+
+FAILURE_DIR = Path(__file__).resolve().parent.parent / "repro_failures"
+
+_workload = RandomWorkload(SEED)
+_reference = _workload.reference()
+_databases = {}
+
+
+def database_for(batch_size: int) -> Database:
+    """One engine per batch size, data loaded once (module-lifetime cache).
+    Small work memory on purpose: serial plans spill, so the matrix also
+    exercises the spill-vs-parallel interaction."""
+    if batch_size not in _databases:
+        db = Database(buffer_pages=64, work_mem_pages=4, batch_size=batch_size)
+        load_dataset(db, _workload.dataset())
+        _databases[batch_size] = db
+    return _databases[batch_size]
+
+
+def check_case(index: int, strategy: str, batch_size: int, degree: int):
+    """Run case *index* under one matrix cell and compare to reference.
+
+    On mismatch, write the repro script and fail with its path — the
+    script alone reproduces the failure from (seed, index, config).
+    """
+    case = _workload.case(index)
+    db = database_for(batch_size)
+    db.options = PlannerOptions(
+        strategy=strategy,
+        parallel_degree=degree,
+        force_parallel=degree > 1,
+    )
+    try:
+        got = db.query(case.sql).rows
+    finally:
+        db.options = PlannerOptions()
+    if case.matches(got, _reference):
+        return
+    FAILURE_DIR.mkdir(exist_ok=True)
+    name = f"seed{SEED}_case{index}_{strategy}_b{batch_size}_d{degree}.py"
+    script_path = FAILURE_DIR / name
+    script_path.write_text(
+        repro_script(
+            SEED,
+            index,
+            strategy=strategy,
+            batch_size=batch_size,
+            parallel_degree=degree,
+        )
+    )
+    want = case.expected(_reference)
+    pytest.fail(
+        f"differential mismatch for seed={SEED} case={index} "
+        f"({strategy}, batch={batch_size}, degree={degree})\n"
+        f"  sql: {case.sql}\n"
+        f"  engine rows: {len(got)}, reference rows: {len(want)}\n"
+        f"  repro script: {script_path}\n"
+        f"  run with: PYTHONPATH=src python {script_path}"
+    )
+
+
+class TestMatrixSlice:
+    """Tier-1 slice: 40 cases, each under a rotating matrix cell, so every
+    strategy × batch × degree combination is hit on every run."""
+
+    @pytest.mark.parametrize("index", range(40))
+    def test_case_matches_reference(self, index):
+        strategy, batch_size, degree = COMBOS[index % len(COMBOS)]
+        check_case(index, strategy, batch_size, degree)
+
+
+@pytest.mark.slow
+class TestFullMatrix:
+    """Nightly sweep: ≥200 cases; every case runs under all strategies
+    with batch/degree rotating per case (600 engine executions)."""
+
+    @pytest.mark.parametrize("index", range(200))
+    def test_case_matches_reference_all_strategies(self, index):
+        cells = list(itertools.product(BATCH_SIZES, DEGREES))
+        batch_size, degree = cells[index % len(cells)]
+        for strategy in STRATEGIES:
+            check_case(index, strategy, batch_size, degree)
+
+
+@pytest.mark.fuzz
+class TestFreshSeeds:
+    """Extra fuzzing net: several derived seeds, fresh datasets each, a
+    short query burst per seed — catches data-dependent bugs the fixed
+    dataset can't."""
+
+    @pytest.mark.parametrize("offset", range(4))
+    def test_derived_seed_burst(self, offset):
+        seed = SEED * 1_000 + offset
+        workload = RandomWorkload(seed, r_rows=120, s_rows=80)
+        reference = workload.reference()
+        db = Database(buffer_pages=64, work_mem_pages=4)
+        load_dataset(db, workload.dataset())
+        for index in range(25):
+            case = workload.case(index)
+            strategy, _, degree = COMBOS[index % len(COMBOS)]
+            db.options = PlannerOptions(
+                strategy=strategy,
+                parallel_degree=degree,
+                force_parallel=degree > 1,
+            )
+            got = db.query(case.sql).rows
+            db.options = PlannerOptions()
+            if not case.matches(got, reference):
+                FAILURE_DIR.mkdir(exist_ok=True)
+                name = f"seed{seed}_case{index}_{strategy}_d{degree}.py"
+                path = FAILURE_DIR / name
+                path.write_text(
+                    repro_script(
+                        seed,
+                        index,
+                        strategy=strategy,
+                        parallel_degree=degree,
+                        r_rows=120,
+                        s_rows=80,
+                    )
+                )
+                pytest.fail(
+                    f"fuzz mismatch seed={seed} case={index}: {case.sql}\n"
+                    f"  repro script: {path}"
+                )
+
+
+class TestReproScript:
+    def test_script_round_trips(self, tmp_path):
+        """The emitted repro script must itself run green for a passing
+        case — otherwise failure artifacts would be untrustworthy."""
+        import subprocess
+        import sys
+
+        script = tmp_path / "repro_case0.py"
+        script.write_text(repro_script(SEED, 0, strategy="dp"))
+        env = dict(os.environ)
+        root = Path(__file__).resolve().parent.parent
+        env["PYTHONPATH"] = str(root / "src")
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "OK" in proc.stdout
+
+    def test_mismatch_detection_is_real(self):
+        """matches() must actually reject wrong answers (guards against a
+        vacuously-green matrix)."""
+        case = _workload.case(0)
+        want = case.expected(_reference)
+        assert case.matches(list(want), _reference)
+        corrupted = list(want) + [("bogus",) * (len(want[0]) if want else 1)]
+        assert not case.matches(corrupted, _reference)

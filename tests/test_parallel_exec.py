@@ -1,0 +1,258 @@
+"""Intra-query parallelism: exchange/gather execution is bit-identical to
+serial execution, and parallel plans carry coherent EXPLAIN ANALYZE
+actuals and engine metrics.
+
+Every test compares parallel output with ``==`` on the full row list —
+order included — because the gather's contract is *exact* serial
+equivalence, not multiset equivalence.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro import Database, ObsConfig
+from repro.optimizer import PlannerOptions
+from repro.physical import (
+    PAggregate,
+    PExchange,
+    PGather,
+    PSeqScan,
+    PSort,
+    contains_parallel,
+    walk_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    rng = random.Random(17)
+    database = Database()
+    database.execute(
+        "CREATE TABLE r (id INT PRIMARY KEY, k INT, f FLOAT, s TEXT)"
+    )
+    database.execute("CREATE TABLE s (id INT, k INT, g INT)")
+    database.execute("CREATE INDEX ix_s_k ON s (k)")
+    database.insert_rows(
+        "r",
+        [
+            (
+                i,
+                rng.randrange(30),
+                round(rng.random() * 100, 3),
+                rng.choice(["red", "green", "blue"]),
+            )
+            for i in range(3000)
+        ],
+    )
+    database.insert_rows(
+        "s", [(i, rng.randrange(30), i % 9) for i in range(500)]
+    )
+    database.execute("ANALYZE")
+    return database
+
+
+def serial_then_parallel(db, sql, degree):
+    db.options = PlannerOptions()
+    serial = db.query(sql).rows
+    db.options = PlannerOptions(parallel_degree=degree, force_parallel=True)
+    plan = db.plan(sql)
+    parallel = db.query(sql).rows
+    db.options = PlannerOptions()
+    return serial, parallel, plan
+
+
+SHAPES = [
+    # partitioned scan-filter-project pipeline
+    "SELECT r.id, r.f FROM r WHERE r.k < 11",
+    # pipeline over the whole table (no filter)
+    "SELECT r.id FROM r",
+    # replicated-build spine through a join
+    "SELECT r.id, s.id FROM r, s WHERE r.k = s.k AND r.id < 900",
+    # two-phase aggregation (COUNT/MIN/MAX + integer SUM are exact)
+    "SELECT r.s, COUNT(*) AS n, MIN(r.id) AS mn, MAX(r.id) AS mx, "
+    "SUM(r.id) AS t FROM r GROUP BY r.s",
+    # global aggregate, no groups
+    "SELECT COUNT(*) AS n, MAX(r.f) AS mx FROM r WHERE r.k > 4",
+    # parallel sort with gather merge
+    "SELECT r.id, r.s FROM r WHERE r.k < 17 ORDER BY r.s, r.f DESC",
+]
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("degree", [1, 2, 4])
+    @pytest.mark.parametrize("sql", SHAPES)
+    def test_parallel_equals_serial(self, db, sql, degree):
+        serial, parallel, _ = serial_then_parallel(db, sql, degree)
+        assert parallel == serial
+
+    @pytest.mark.parametrize("degree", [2, 4])
+    def test_plans_actually_parallelize(self, db, degree):
+        _, _, plan = serial_then_parallel(db, SHAPES[0], degree)
+        gathers = [n for n in walk_plan(plan) if isinstance(n, PGather)]
+        assert len(gathers) == 1
+        assert gathers[0].degree == degree
+
+    def test_degree_one_stays_serial_shaped(self, db):
+        """degree=1 must not pay exchange overhead: no gather in the plan."""
+        db.options = PlannerOptions(parallel_degree=1)
+        try:
+            assert not contains_parallel(db.plan(SHAPES[0]))
+        finally:
+            db.options = PlannerOptions()
+
+    def test_inline_matches_forked(self, db):
+        sql = SHAPES[3]
+        _, forked, _ = serial_then_parallel(db, sql, 4)
+        os.environ["REPRO_PARALLEL_INLINE"] = "1"
+        try:
+            _, inline, _ = serial_then_parallel(db, sql, 4)
+        finally:
+            del os.environ["REPRO_PARALLEL_INLINE"]
+        assert inline == forked
+
+    def test_float_sum_never_goes_two_phase(self, db):
+        """SUM over FLOAT must stay single-phase (non-associative adds)."""
+        sql = "SELECT r.s, SUM(r.f) AS t FROM r GROUP BY r.s"
+        serial, parallel, plan = serial_then_parallel(db, sql, 4)
+        assert parallel == serial
+        partials = [
+            n
+            for n in walk_plan(plan)
+            if isinstance(n, PAggregate) and n.mode != "single"
+        ]
+        assert partials == []
+
+
+class TestExplainAnalyzeActuals:
+    def explain_plan(self, db, sql, degree):
+        db.options = PlannerOptions(
+            parallel_degree=degree, force_parallel=True
+        )
+        try:
+            physical = db.plan(sql)
+            result = db.run_plan(physical, analyze=True)
+        finally:
+            db.options = PlannerOptions()
+        return physical, result
+
+    def test_scan_actuals_sum_over_workers(self, db):
+        physical, result = self.explain_plan(db, "SELECT r.id FROM r", 4)
+        scans = [n for n in walk_plan(physical) if isinstance(n, PSeqScan)]
+        assert len(scans) == 1
+        # every worker scanned a disjoint page slice: the per-worker loops
+        # sum to the degree and the per-worker rows sum to the table
+        assert scans[0].actual_loops == 4
+        assert scans[0].actual_rows == 3000
+
+    def test_gather_rows_match_result(self, db):
+        physical, result = self.explain_plan(db, SHAPES[0], 2)
+        gather = next(
+            n for n in walk_plan(physical) if isinstance(n, PGather)
+        )
+        assert gather.actual_rows == result.rowcount
+
+    def test_exchange_counts_worker_loops(self, db):
+        physical, _ = self.explain_plan(db, SHAPES[0], 4)
+        exchange = next(
+            n for n in walk_plan(physical) if isinstance(n, PExchange)
+        )
+        assert exchange.actual_loops == 4
+
+    def test_parallel_sort_actuals(self, db):
+        physical, result = self.explain_plan(db, SHAPES[5], 2)
+        sort = next(n for n in walk_plan(physical) if isinstance(n, PSort))
+        assert sort.actual_loops == 2
+        assert sort.actual_rows == result.rowcount
+
+    def test_pretty_renders_workers(self, db):
+        physical, _ = self.explain_plan(db, SHAPES[0], 2)
+        text = physical.pretty(actuals=True)
+        assert "Gather" in text and "workers=2" in text
+        assert "parallel" in text
+
+
+class TestMetricsAndLog:
+    def test_parallel_counters_and_query_log(self):
+        database = Database(obs=ObsConfig(metrics=True))
+        database.execute("CREATE TABLE t (id INT, k INT)")
+        database.insert_rows("t", [(i, i % 5) for i in range(600)])
+        database.execute("ANALYZE")
+        database.options = PlannerOptions(
+            parallel_degree=3, force_parallel=True
+        )
+        result = database.query("SELECT t.id FROM t WHERE t.k = 1")
+        assert result.exec_metrics.parallel_regions == 1
+        assert result.exec_metrics.parallel_workers == 3
+        snap = database.metrics_snapshot()
+        assert snap["counters"]["parallel_queries_total"] == 1.0
+        assert snap["counters"]["parallel_workers_total"] == 3.0
+        assert database.query_log.entries()[-1].parallel_workers == 3
+
+    def test_serial_queries_do_not_count_as_parallel(self):
+        database = Database(obs=ObsConfig(metrics=True))
+        database.execute("CREATE TABLE t (id INT)")
+        database.insert_rows("t", [(i,) for i in range(50)])
+        database.query("SELECT t.id FROM t")
+        snap = database.metrics_snapshot()
+        assert "parallel_queries_total" not in snap["counters"]
+
+
+class TestPlannerChoices:
+    def test_cost_gate_keeps_tiny_queries_serial(self, db):
+        """Without force_parallel, a small table must not parallelize —
+        the per-worker startup charge dominates."""
+        db.options = PlannerOptions(parallel_degree=4)
+        try:
+            plan = db.plan("SELECT s.id FROM s WHERE s.g = 2")
+            assert not contains_parallel(plan)
+        finally:
+            db.options = PlannerOptions()
+
+    def test_invalid_degree_rejected(self):
+        with pytest.raises(ValueError):
+            PlannerOptions(parallel_degree=0)
+
+    def test_set_strategy_passes_parallel_options(self, db):
+        db.set_strategy("dp", parallel_degree=2, force_parallel=True)
+        try:
+            assert contains_parallel(db.plan(SHAPES[0]))
+        finally:
+            db.options = PlannerOptions()
+
+    def test_all_strategies_parallelize_identically(self, db):
+        for strategy in ("dp", "greedy", "syntactic"):
+            db.options = PlannerOptions(strategy=strategy)
+            serial = db.query(SHAPES[2]).rows
+            db.options = PlannerOptions(
+                strategy=strategy, parallel_degree=2, force_parallel=True
+            )
+            parallel = db.query(SHAPES[2]).rows
+            db.options = PlannerOptions()
+            assert parallel == serial, strategy
+
+
+class TestSpillSafety:
+    def test_spilling_join_stays_serial(self):
+        """A hash join whose build side exceeds work memory must not be
+        parallelized: the Grace spill path reorders output."""
+        rng = random.Random(5)
+        database = Database(work_mem_pages=3)
+        database.execute("CREATE TABLE big (id INT, k INT, pad TEXT)")
+        database.execute("CREATE TABLE big2 (id INT, k INT, pad TEXT)")
+        pad = "x" * 120
+        database.insert_rows(
+            "big", [(i, rng.randrange(40), pad) for i in range(1500)]
+        )
+        database.insert_rows(
+            "big2", [(i, rng.randrange(40), pad) for i in range(1500)]
+        )
+        database.execute("ANALYZE")
+        sql = "SELECT big.id, big2.id FROM big, big2 WHERE big.k = big2.k"
+        database.options = PlannerOptions()
+        serial = database.query(sql).rows
+        database.options = PlannerOptions(
+            parallel_degree=4, force_parallel=True
+        )
+        assert database.query(sql).rows == serial
