@@ -7,8 +7,13 @@ with ``;``.  Meta-commands:
 * ``\\strategy X``   — switch the join-order strategy
 * ``\\parallel N``   — set the parallel degree (1 = serial)
 * ``\\timing``       — toggle per-query metrics
-* ``\\metrics``      — dump the process-wide metrics snapshot
+* ``\\metrics``      — dump the process-wide metrics snapshot (JSON);
+  ``\\metrics prom`` renders Prometheus text exposition instead
 * ``\\trace``        — show the last query's planner/executor span tree
+* ``\\search``       — show the optimizer's search trace for the last
+  planned query (ranked join-order/access-path alternatives)
+* ``\\qlog [N]``     — last N query-log records (default 10) with q-error
+  and plan-change flags
 * ``\\load demo``    — load the wholesale demo schema
 * ``\\q``            — quit
 """
@@ -81,12 +86,37 @@ def main(argv=None) -> int:
                 timing = not timing
                 print(f"timing {'on' if timing else 'off'}")
             elif command == "\\metrics":
-                print(json.dumps(db.metrics_snapshot(), indent=2))
+                if len(parts) > 1 and parts[1] == "prom":
+                    print(db.metrics_snapshot(format="prom"), end="")
+                else:
+                    print(json.dumps(db.metrics_snapshot(), indent=2))
             elif command == "\\trace":
                 if db.last_trace is None:
                     print("no query traced yet")
                 else:
                     print(db.last_trace.pretty())
+            elif command == "\\search":
+                if db.last_search is None or not len(db.last_search):
+                    print("no search trace yet (plan a SELECT first)")
+                else:
+                    print(db.last_search.render(verbose=True))
+            elif command == "\\qlog":
+                n = 10
+                if len(parts) > 1 and parts[1].isdigit():
+                    n = int(parts[1])
+                records = db.query_log.entries()[-n:]
+                if not records:
+                    print("query log is empty")
+                for record in records:
+                    sql_text = " ".join(record.sql.split())
+                    if len(sql_text) > 48:
+                        sql_text = sql_text[:45] + "..."
+                    flag = " PLAN-CHANGED" if record.plan_changed else ""
+                    print(
+                        f"  q-err={record.q_error:7.2f}  "
+                        f"exec={record.execution_ms:7.2f}ms{flag}  "
+                        f"{sql_text}"
+                    )
             elif command == "\\strategy":
                 if len(parts) > 1 and parts[1] in STRATEGIES:
                     db.set_strategy(parts[1])

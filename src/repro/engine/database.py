@@ -28,15 +28,21 @@ from ..catalog import Catalog, IndexKind, TableInfo
 from ..executor import ExecContext, ExecMetrics, run
 from ..expr import Literal
 from ..obs import (
+    FeedbackStore,
     InstrumentLevel,
     MetricsRegistry,
     ObsConfig,
+    PlanBaselineStore,
     QueryLog,
     QueryLogRecord,
+    SearchTrace,
     Span,
     Tracer,
+    plan_diff,
     plan_fingerprint,
+    plan_shape_text,
     q_error,
+    statement_fingerprint,
 )
 from ..optimizer import CostModel, Planner, PlannerOptions, PlannerStats
 from ..physical import PhysicalPlan
@@ -114,6 +120,13 @@ class Database:
         self.metrics = MetricsRegistry()
         self.query_log = QueryLog(self.obs.query_log_size)
         self.last_trace: Optional[Span] = None
+        #: plan baselines per normalized statement (plan-change detection)
+        self.baselines = PlanBaselineStore()
+        #: est-vs-actual cardinality evidence, harvested from executions;
+        #: consulted at planning time only when options.use_feedback is set
+        self.feedback = FeedbackStore()
+        #: the optimizer SearchTrace of the most recent planning pass
+        self.last_search: Optional[SearchTrace] = None
 
     # -- statement dispatch ------------------------------------------------------------
 
@@ -137,11 +150,19 @@ class Database:
     def _explain(
         self, stmt: ExplainStmt, sql: str, tracer: Tracer
     ) -> QueryResult:
-        """EXPLAIN [ANALYZE]: render the plan (with actuals when executed),
-        keeping the planning/execution metadata on the result."""
+        """EXPLAIN [(ANALYZE | VERBOSE | SEARCH | DIFF)]: render the plan
+        (with actuals when executed), optionally followed by the
+        optimizer's search trace, or diffed against the stored baseline."""
+        if stmt.diff:
+            return self._explain_diff(stmt, sql, tracer)
+        collect_search = True if stmt.search else None
         if stmt.analyze:
             inner = self._run_select(
-                stmt.inner, sql=sql, tracer=tracer, analyze=True
+                stmt.inner,
+                sql=sql,
+                tracer=tracer,
+                analyze=True,
+                collect_search=collect_search,
             )
             text = inner.plan.pretty(actuals=True)
             text += (
@@ -150,6 +171,7 @@ class Database:
                 f"{inner.io.reads} reads / {inner.io.writes} writes, "
                 f"{inner.rowcount} rows"
             )
+            text += self._search_section(stmt)
             return QueryResult(
                 rows=[(line,) for line in text.splitlines()],
                 columns=["plan"],
@@ -165,11 +187,55 @@ class Database:
         before = len(self._live_transients)
         try:
             with tracer.span("plan"):
-                physical, pstats = self.plan_select(stmt.inner, tracer=tracer)
+                physical, pstats = self.plan_select(
+                    stmt.inner, tracer=tracer, collect_search=collect_search
+                )
             text = physical.pretty()
+            text += self._search_section(stmt)
         finally:
             self._drop_transients_from(before)
         planning = time.perf_counter() - start
+        return QueryResult(
+            rows=[(line,) for line in text.splitlines()],
+            columns=["plan"],
+            plan=physical,
+            planner_stats=pstats,
+            planning_seconds=planning,
+        )
+
+    def _search_section(self, stmt: ExplainStmt) -> str:
+        if not stmt.search or self.last_search is None:
+            return ""
+        return "\n\nSearch:\n" + self.last_search.render(verbose=stmt.verbose)
+
+    def _explain_diff(
+        self, stmt: ExplainStmt, sql: str, tracer: Tracer
+    ) -> QueryResult:
+        """EXPLAIN DIFF: plan the statement (no execution) and diff the
+        chosen plan against the stored baseline.  The baseline itself is
+        NOT advanced — diffing is a read-only question."""
+        start = time.perf_counter()
+        before = len(self._live_transients)
+        try:
+            with tracer.span("plan"):
+                physical, pstats = self.plan_select(stmt.inner, tracer=tracer)
+        finally:
+            self._drop_transients_from(before)
+        planning = time.perf_counter() - start
+        baseline = self.baselines.get(statement_fingerprint(sql))
+        if baseline is None:
+            text = (
+                physical.pretty()
+                + "\n\n(no stored baseline for this statement yet — "
+                "run it once to establish one)"
+            )
+        else:
+            text = plan_diff(
+                baseline.plan_shape,
+                plan_shape_text(physical),
+                baseline.est_cost,
+                physical.total_est_cost(),
+            )
         return QueryResult(
             rows=[(line,) for line in text.splitlines()],
             columns=["plan"],
@@ -250,7 +316,10 @@ class Database:
     # -- planning ---------------------------------------------------------------------------
 
     def plan_select(
-        self, stmt: SelectStmt, tracer: Optional[Tracer] = None
+        self,
+        stmt: SelectStmt,
+        tracer: Optional[Tracer] = None,
+        collect_search: Optional[bool] = None,
     ) -> Tuple[PhysicalPlan, PlannerStats]:
         """Plan a SELECT.  Views referenced by *stmt* are expanded here; a
         non-mergeable view is materialized into a transient table that the
@@ -272,10 +341,20 @@ class Database:
                     len(self._live_transients) - before,
                 )
         logical = build_plan(stmt, self.catalog)
+        if collect_search is None:
+            collect_search = self.obs.trace
+        search = SearchTrace() if collect_search else None
         planner = Planner(
-            self.catalog, self.model, self.options, tracer=tracer
+            self.catalog,
+            self.model,
+            self.options,
+            tracer=tracer,
+            feedback=self.feedback,
+            search=search,
         )
         physical = planner.plan_logical(logical)
+        if search is not None:
+            self.last_search = search
         return physical, planner.last_stats or PlannerStats()
 
     # -- views -------------------------------------------------------------------------
@@ -678,13 +757,16 @@ class Database:
         sql: Optional[str] = None,
         tracer: Optional[Tracer] = None,
         analyze: bool = False,
+        collect_search: Optional[bool] = None,
     ) -> QueryResult:
         tracer = tracer or Tracer(enabled=False)
         start = time.perf_counter()
         before_transients = len(self._live_transients)
         try:
             with tracer.span("plan"):
-                physical, pstats = self.plan_select(stmt, tracer=tracer)
+                physical, pstats = self.plan_select(
+                    stmt, tracer=tracer, collect_search=collect_search
+                )
             planning = time.perf_counter() - start
             with tracer.span("execute"):
                 result = self.run_plan(physical, analyze=analyze)
@@ -723,15 +805,37 @@ class Database:
                         result.exec_metrics.parallel_workers
                     )
             m.gauge("buffer_hit_ratio").set(self.pool.stats.hit_rate)
+        if self.obs.feedback:
+            self._harvest_feedback(physical)
+        fingerprint = plan_fingerprint(physical)
+        est_cost = physical.total_est_cost()
+        plan_changed = False
+        cost_delta = 0.0
+        if self.obs.baselines and sql is not None:
+            change = self.baselines.observe(
+                statement_fingerprint(sql),
+                sql,
+                fingerprint,
+                est_cost,
+                plan_shape_text(physical),
+                result.execution_seconds * 1000.0,
+            )
+            if change is not None:
+                plan_changed = True
+                cost_delta = change.cost_delta
+                if self.obs.metrics:
+                    self.metrics.counter("plan_changes_total").inc()
+                    if change.is_regression:
+                        self.metrics.counter("plan_regressions_total").inc()
         if sql is not None and self.query_log.capacity > 0:
             self.query_log.record(
                 QueryLogRecord(
                     sql=sql,
-                    fingerprint=plan_fingerprint(physical),
+                    fingerprint=fingerprint,
                     est_rows=physical.est_rows,
                     actual_rows=result.rowcount,
                     q_error=q_error(physical.est_rows, float(result.rowcount)),
-                    est_cost=physical.total_est_cost(),
+                    est_cost=est_cost,
                     actual_reads=result.io.reads if result.io else 0,
                     actual_writes=result.io.writes if result.io else 0,
                     planning_ms=result.planning_seconds * 1000.0,
@@ -749,12 +853,51 @@ class Database:
                         if result.exec_metrics
                         else 0
                     ),
+                    plan_changed=plan_changed,
+                    baseline_cost_delta=cost_delta,
                 )
             )
 
-    def metrics_snapshot(self) -> Dict[str, Any]:
+    def _harvest_feedback(self, physical: PhysicalPlan) -> None:
+        """Fold this execution's per-node actuals into the feedback store.
+
+        Plans under a LIMIT are skipped entirely: early termination leaves
+        actuals that reflect the cutoff, not the data, and learning from
+        them would poison the corrections.
+        """
+        from ..physical import PLimit, walk_plan
+
+        if any(isinstance(node, PLimit) for node in walk_plan(physical)):
+            return
+        self.feedback.harvest(physical)
+
+    def metrics_snapshot(self, format: str = "json") -> Any:
         """Process-wide observability snapshot: registry instruments plus
-        the storage layer's cumulative counters (JSON-safe)."""
+        the storage layer's cumulative counters.
+
+        ``format="json"`` (default) returns nested plain dicts;
+        ``format="prom"`` returns Prometheus text exposition (the storage
+        counters render as gauges alongside the registry instruments).
+        """
+        if format == "prom":
+            bstats, dstats = self.pool.stats, self.disk.stats
+            extras = {
+                "buffer_pool_hits": float(bstats.hits),
+                "buffer_pool_misses": float(bstats.misses),
+                "buffer_pool_evictions": float(bstats.evictions),
+                "buffer_pool_dirty_writebacks": float(bstats.dirty_writebacks),
+                "buffer_pool_hit_rate": bstats.hit_rate,
+                "disk_reads": float(dstats.reads),
+                "disk_writes": float(dstats.writes),
+                "disk_seq_reads": float(dstats.seq_reads),
+                "disk_allocations": float(dstats.allocations),
+                "query_log_entries": float(len(self.query_log)),
+                "feedback_entries": float(len(self.feedback)),
+                "plan_baselines": float(len(self.baselines)),
+            }
+            return self.metrics.render_prometheus(extras=extras)
+        if format != "json":
+            raise EngineError(f"unknown metrics format {format!r}")
         snap: Dict[str, Any] = self.metrics.snapshot()
         bstats = self.pool.stats
         snap["buffer_pool"] = {

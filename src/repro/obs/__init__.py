@@ -1,4 +1,4 @@
-"""Query-lifecycle observability: instrumentation, tracing, metrics, log.
+"""Query-lifecycle and optimizer observability.
 
 The pieces (all engine-independent; the engine threads them through):
 
@@ -7,12 +7,34 @@ The pieces (all engine-independent; the engine threads them through):
 * :class:`Tracer` / :class:`Span` — planner/query span trees with JSON
   round-tripping (``trace``).
 * :class:`MetricsRegistry` — process-wide counters, gauges, latency
-  histograms (``metrics``).
+  histograms, with a Prometheus text exporter (``metrics``).
 * :class:`QueryLog` / :func:`plan_fingerprint` — the per-query feedback
   store: est vs. actual cardinality, cost, latency (``querylog``).
+* :class:`SearchTrace` — what the optimizer *considered*: memo entries,
+  pruning decisions, ranked alternatives per join region (``search``).
+* :class:`PlanBaselineStore` — plan-change/regression detection keyed by
+  normalized statement fingerprint (``baseline``), rendered by
+  :func:`plan_diff` (``plandiff``).
+* :class:`FeedbackStore` — LEO-style est-vs-actual aggregates keyed by
+  (relation set, predicate fingerprint), driving opt-in estimate
+  correction (``feedback``).
 """
 
+from .baseline import (
+    PlanBaseline,
+    PlanBaselineStore,
+    PlanChange,
+    normalize_statement,
+    statement_fingerprint,
+)
 from .config import InstrumentLevel, ObsConfig
+from .feedback import (
+    FeedbackEntry,
+    FeedbackStore,
+    feedback_key,
+    normalized_predicate,
+    scan_key,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -20,7 +42,9 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .plandiff import plan_diff, plan_shape_lines, plan_shape_text
 from .querylog import QueryLog, QueryLogRecord, plan_fingerprint, q_error
+from .search import PathAlt, RegionSearch, SearchTrace, plan_shape
 from .trace import NULL_SPAN, Span, Tracer
 
 __all__ = [
@@ -38,4 +62,21 @@ __all__ = [
     "Span",
     "Tracer",
     "NULL_SPAN",
+    "SearchTrace",
+    "RegionSearch",
+    "PathAlt",
+    "plan_shape",
+    "PlanBaseline",
+    "PlanBaselineStore",
+    "PlanChange",
+    "normalize_statement",
+    "statement_fingerprint",
+    "plan_diff",
+    "plan_shape_lines",
+    "plan_shape_text",
+    "FeedbackStore",
+    "FeedbackEntry",
+    "feedback_key",
+    "scan_key",
+    "normalized_predicate",
 ]

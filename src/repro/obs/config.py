@@ -41,13 +41,17 @@ class ObsConfig:
     metrics: bool = True
     query_log_size: int = 256
     instrument: InstrumentLevel = InstrumentLevel.ROWS
+    baselines: bool = True  # plan-baseline store + plan-change detection
+    feedback: bool = True  # harvest est-vs-actual into the FeedbackStore
 
     @classmethod
     def off(cls) -> "ObsConfig":
-        """Disable tracing, metrics and the query log."""
+        """Disable tracing, metrics, the query log, baselines, feedback."""
         return cls(
             trace=False,
             metrics=False,
             query_log_size=0,
             instrument=InstrumentLevel.ROWS,
+            baselines=False,
+            feedback=False,
         )

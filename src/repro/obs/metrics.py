@@ -172,7 +172,60 @@ class MetricsRegistry:
             },
         }
 
+    def render_prometheus(
+        self,
+        prefix: str = "repro_",
+        extras: Optional[Dict[str, float]] = None,
+    ) -> str:
+        """Prometheus text exposition of every instrument.
+
+        Counters render as ``<prefix><name>`` with a TYPE comment; gauges
+        likewise; histograms as cumulative ``_bucket{le="..."}`` series
+        ending in ``+Inf`` plus ``_sum`` and ``_count``, which is what a
+        Prometheus scraper expects.  ``extras`` (plain name→value pairs,
+        e.g. derived ratios the engine computes on demand) render as
+        gauges.
+        """
+        lines: List[str] = []
+        for name, counter in sorted(self._counters.items()):
+            full = prefix + name
+            lines.append(f"# TYPE {full} counter")
+            lines.append(f"{full} {_fmt(counter.value)}")
+        gauges: List[Tuple[str, float]] = [
+            (name, g.value) for name, g in sorted(self._gauges.items())
+        ]
+        if extras:
+            gauges.extend(sorted(extras.items()))
+        for name, value in gauges:
+            full = prefix + name
+            lines.append(f"# TYPE {full} gauge")
+            lines.append(f"{full} {_fmt(value)}")
+        for name, hist in sorted(self._histograms.items()):
+            full = prefix + name
+            lines.append(f"# TYPE {full} histogram")
+            cumulative = 0
+            for bound, count in zip(hist.bounds, hist.bucket_counts):
+                cumulative += count
+                lines.append(
+                    f'{full}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{full}_bucket{{le="+Inf"}} {hist.count}')
+            lines.append(f"{full}_sum {_fmt(hist.sum)}")
+            lines.append(f"{full}_count {hist.count}")
+        return "\n".join(lines) + "\n"
+
     def reset(self) -> None:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-style number: integral values without the trailing .0."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))

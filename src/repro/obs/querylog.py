@@ -15,13 +15,25 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from collections import deque
 from dataclasses import asdict, dataclass
 from typing import Any, Deque, Dict, List, Optional
 
 
 def q_error(estimated: float, actual: float) -> float:
-    """The standard cardinality-estimation error metric (≥ 1)."""
+    """The standard cardinality-estimation error metric (always ≥ 1).
+
+    Edge cases are defined, not accidental: zero (or negative) counts on
+    either side are clamped to one row before the ratio — so ``est=0,
+    act=0`` is a perfect 1.0, and ``est=0, act=100`` scores the same 100x
+    as ``est=1, act=100`` instead of dividing by zero.  Non-finite inputs
+    (NaN/inf from broken estimates) return ``inf`` so they sort to the
+    top of :meth:`QueryLog.top_misestimates` rather than poisoning the
+    ordering with NaN comparisons.
+    """
+    if not (math.isfinite(estimated) and math.isfinite(actual)):
+        return math.inf
     est = max(estimated, 1.0)
     act = max(actual, 1.0)
     return max(est / act, act / est)
@@ -66,6 +78,8 @@ class QueryLogRecord:
     spills: int = 0
     temp_files: int = 0
     parallel_workers: int = 0
+    plan_changed: bool = False  # chosen plan differs from the baseline
+    baseline_cost_delta: float = 0.0  # new est_cost - baseline est_cost
 
     def as_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -98,10 +112,21 @@ class QueryLog:
 
     def worst_estimates(self, n: int = 10) -> List[QueryLogRecord]:
         """The n records with the largest cardinality q-error — where the
-        estimator most needs correcting."""
-        return sorted(
-            self.entries(), key=lambda r: r.q_error, reverse=True
-        )[:n]
+        estimator most needs correcting.  NaN q-errors (which no longer
+        occur for new records, but may exist in persisted logs) sort as
+        infinite so the ordering stays total."""
+
+        def sort_key(r: QueryLogRecord) -> float:
+            return r.q_error if not math.isnan(r.q_error) else math.inf
+
+        return sorted(self.entries(), key=sort_key, reverse=True)[:n]
+
+    #: Alias: the operational name for the same ranking.
+    top_misestimates = worst_estimates
+
+    def plan_changes(self) -> List[QueryLogRecord]:
+        """Records whose chosen plan differed from the stored baseline."""
+        return [r for r in self.entries() if r.plan_changed]
 
     def by_fingerprint(self) -> Dict[str, List[QueryLogRecord]]:
         out: Dict[str, List[QueryLogRecord]] = {}

@@ -28,6 +28,7 @@ from ..physical import (
     PhysicalPlan,
     RangeBound,
 )
+from ..obs import scan_key
 from .cost import Cost, CostModel
 from .estimate import Estimator
 
@@ -130,7 +131,14 @@ def access_paths(
     base_rows = float(
         table.stats.num_rows if table.stats is not None else table.num_rows
     )
-    out_rows = estimator.scan_rows(table, conjuncts)
+    # The feedback key covers the binding + ALL its filter conjuncts, so
+    # every access path for this relation (which all emit the same filtered
+    # rows) shares one key; execution-time actuals harvested under it apply
+    # uniformly here.
+    fb_key = scan_key(table.name, binding, conjuncts)
+    out_rows = estimator.feedback_rows(
+        fb_key, estimator.scan_rows(table, conjuncts)
+    )
     candidates: List[ScanCandidate] = []
 
     # 1. Sequential scan.
@@ -208,6 +216,8 @@ def access_paths(
             plan.est_rows, plan.est_cost = out_rows, cost
             candidates.append(ScanCandidate(plan, cost, out_rows, order))
 
+    for cand in candidates:
+        cand.plan.feedback_key = fb_key
     return candidates
 
 

@@ -33,6 +33,7 @@ from ..expr import (
     classify_conjunct,
     conjoin,
 )
+from ..obs import RegionSearch, feedback_key, scan_key
 from ..physical import PHashJoin, PIndexNLJoin, PNestedLoopJoin, PSort, PSortMergeJoin, PhysicalPlan
 from ..types import Schema
 from .access import access_paths
@@ -81,6 +82,7 @@ class DPPlanner:
         interesting_orders: Optional[Set[str]] = None,
         page_size: int = 4096,
         needed_columns: Optional[Dict[str, Set[str]]] = None,
+        search: Optional[RegionSearch] = None,
     ):
         self.graph = graph
         self.estimator = estimator
@@ -93,7 +95,10 @@ class DPPlanner:
         #: index-only access paths when an index covers them.
         self.needed_columns = needed_columns or {}
         self.stats = PlannerStats()
+        #: optional RegionSearch the enumeration is recorded into
+        self.search = search
         self._rows_memo: Dict[FrozenSet[str], float] = {}
+        self._key_memo: Dict[FrozenSet[str], str] = {}
         self._interesting = interesting_orders
         if self._interesting is None:
             self._interesting = self._default_interesting_orders()
@@ -137,7 +142,17 @@ class DPPlanner:
                     for lp in left_plans.values():
                         for rp in right_plans.values():
                             for cand in self.join_candidates(lp, rp):
-                                self._consider(entry, cand)
+                                kept, reason = self._consider(entry, cand)
+                                if self.search is not None:
+                                    self.search.record(
+                                        tuple(subset),
+                                        cand.plan,
+                                        cand.rows,
+                                        cand.cost.total,
+                                        cand.order,
+                                        kept,
+                                        reason,
+                                    )
                 if entry:
                     best[subset] = entry
         full = frozenset(bindings)
@@ -169,7 +184,17 @@ class DPPlanner:
                 self._norm_order(cand.order),
                 frozenset([binding]),
             )
-            self._consider(entry, sub)
+            kept, reason = self._consider(entry, sub)
+            if self.search is not None:
+                self.search.record(
+                    (binding,),
+                    sub.plan,
+                    sub.rows,
+                    sub.cost.total,
+                    sub.order,
+                    kept,
+                    reason,
+                )
         return entry
 
     # -- join combination ---------------------------------------------------------------
@@ -243,6 +268,9 @@ class DPPlanner:
             if inl is not None:
                 results.append(inl)
 
+        fb_key = self._subset_key(combined)
+        for sub in results:
+            sub.plan.feedback_key = fb_key
         self.stats.plans_considered += len(results)
         return results
 
@@ -306,16 +334,31 @@ class DPPlanner:
 
     def _consider(
         self, entry: Dict[Optional[str], SubPlan], cand: SubPlan
-    ) -> None:
+    ) -> Tuple[bool, str]:
+        """Keep the cheapest subplan per interesting order.  Returns the
+        decision + a human-readable reason for the search trace."""
         order = cand.order if self.use_interesting_orders else None
         if not self.use_interesting_orders and cand.order is not None:
             cand = SubPlan(
                 cand.plan, cand.cost, cand.rows, None, cand.relations
             )
+        slot = f"order {order}" if order is not None else "unordered"
         existing = entry.get(order)
-        if existing is None or cand.cost.total < existing.cost.total:
+        if existing is None:
             entry[order] = cand
             self.stats.plans_kept += 1
+            return True, f"first plan for {slot}"
+        if cand.cost.total < existing.cost.total:
+            entry[order] = cand
+            self.stats.plans_kept += 1
+            return True, (
+                f"beats incumbent for {slot} "
+                f"({cand.cost.total:.1f} < {existing.cost.total:.1f})"
+            )
+        return False, (
+            f"dominated for {slot} "
+            f"({cand.cost.total:.1f} >= {existing.cost.total:.1f})"
+        )
 
     def _norm_order(self, order: Optional[str]) -> Optional[str]:
         if order is None or not self.use_interesting_orders:
@@ -389,17 +432,32 @@ class DPPlanner:
 
     def _subset_rows(self, subset: FrozenSet[str]) -> float:
         """Estimated rows of the join of *subset* — a property of the set,
-        not of any particular plan shape (keeps DP consistent)."""
+        not of any particular plan shape (keeps DP consistent).
+
+        With a feedback store attached: a direct observation for this
+        exact subset overrides everything (learned factor × the *raw*
+        model estimate, since that is what the factor was learned
+        against); otherwise per-scan corrections propagate upward through
+        the usual selectivity product.
+        """
         memo = self._rows_memo.get(subset)
         if memo is not None:
             return memo
-        rows = 1.0
+        raw = 1.0
+        corrected = 1.0
         for binding in subset:
             get = self.graph.relations[binding]
-            rows *= max(
+            scan = max(
                 1.0,
                 self.estimator.scan_rows(
                     get.table, self.graph.filter_conjuncts(binding)
+                ),
+            )
+            raw *= scan
+            corrected *= max(
+                1.0,
+                self.estimator.feedback_rows(
+                    self._scan_feedback_key(binding), scan
                 ),
             )
         sel = 1.0
@@ -409,9 +467,45 @@ class DPPlanner:
         for tables, conjunct in self.graph.hyper:
             if tables <= subset:
                 sel *= self.estimator.selectivity(conjunct)
-        rows = max(1.0, rows * sel)
+        rows = max(1.0, corrected * sel)
+        direct = self.estimator.apply_feedback(
+            self._subset_key(subset), max(1.0, raw * sel)
+        )
+        if direct is not None:
+            rows = direct
         self._rows_memo[subset] = rows
         return rows
+
+    # -- feedback keys --------------------------------------------------------------
+
+    def _scan_feedback_key(self, binding: str) -> str:
+        get = self.graph.relations[binding]
+        return scan_key(
+            get.table.name, binding, self.graph.filter_conjuncts(binding)
+        )
+
+    def _subset_key(self, subset: FrozenSet[str]) -> str:
+        """Feedback key of the join of *subset*: its relations plus every
+        filter/join/hyper conjunct fully contained in it — the same key
+        regardless of which plan shape produced the rows."""
+        memo = self._key_memo.get(subset)
+        if memo is not None:
+            return memo
+        tables = []
+        conjuncts: List[Expr] = []
+        for binding in sorted(subset):
+            get = self.graph.relations[binding]
+            tables.append(f"{get.table.name} AS {binding}")
+            conjuncts.extend(self.graph.filter_conjuncts(binding))
+        for pair, edge_conjuncts in self.graph.edges.items():
+            if pair <= subset:
+                conjuncts.extend(edge_conjuncts)
+        for hyper_tables, conjunct in self.graph.hyper:
+            if hyper_tables <= subset:
+                conjuncts.append(conjunct)
+        key = feedback_key(tables, conjuncts)
+        self._key_memo[subset] = key
+        return key
 
     # -- interesting orders ----------------------------------------------------------------------
 

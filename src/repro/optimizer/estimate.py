@@ -107,15 +107,27 @@ class StatsResolver:
 
 
 class Estimator:
-    """Selectivity/cardinality estimation over a join graph."""
+    """Selectivity/cardinality estimation over a join graph.
+
+    When a :class:`~repro.obs.FeedbackStore` is attached (opt-in via
+    ``PlannerOptions(use_feedback=True)``), learned est-vs-actual
+    correction factors are applied *on top of* the model estimates by the
+    callers that know the feedback key — access-path selection and the
+    join enumerator — via :meth:`apply_feedback` / :meth:`feedback_rows`.
+    The base estimation rules below stay untouched, so corrections are
+    auditable as a separate multiplier.
+    """
 
     def __init__(
         self,
         resolver: StatsResolver,
         config: Optional[EstimatorConfig] = None,
+        feedback: Optional[Any] = None,
     ):
         self.resolver = resolver
         self.config = config or EstimatorConfig()
+        #: optional FeedbackStore (duck-typed: has/correction)
+        self.feedback = feedback
 
     # -- single predicates ----------------------------------------------------------
 
@@ -342,6 +354,22 @@ class Estimator:
         if resolved is None or resolved.stats is None:
             return None
         return resolved.stats.num_distinct or None
+
+    # -- feedback corrections -------------------------------------------------------
+
+    def apply_feedback(self, key: Optional[str], rows: float) -> Optional[float]:
+        """Corrected row count for *key*, or ``None`` when no feedback
+        store is attached / no evidence exists for the key."""
+        if self.feedback is None or key is None:
+            return None
+        if not self.feedback.has(key):
+            return None
+        return max(1.0, rows * self.feedback.correction(key))
+
+    def feedback_rows(self, key: Optional[str], rows: float) -> float:
+        """Like :meth:`apply_feedback` but falling back to *rows*."""
+        corrected = self.apply_feedback(key, rows)
+        return corrected if corrected is not None else rows
 
 
 def _value_in_range(vx: float, bound: float, op: CmpOp) -> bool:

@@ -43,7 +43,7 @@ from ..algebra import (
 )
 from ..catalog import Catalog
 from ..expr import ColumnRef, Expr, conjoin, infer_expr_type
-from ..obs import Tracer
+from ..obs import SearchTrace, Tracer
 from ..physical import (
     PAggregate,
     PDistinct,
@@ -157,6 +157,10 @@ class PlannerOptions:
     #: choose a parallel alternative whenever one exists, ignoring cost —
     #: lets tests exercise parallel shapes on tables too small to win
     force_parallel: bool = False
+    #: apply learned est-vs-actual corrections from the Database's
+    #: FeedbackStore during estimation (LEO-style; plans may change,
+    #: results never do)
+    use_feedback: bool = False
 
     def __post_init__(self):
         if self.strategy not in STRATEGIES:
@@ -208,6 +212,8 @@ class Planner:
         model: Optional[CostModel] = None,
         options: Optional[PlannerOptions] = None,
         tracer: Optional[Tracer] = None,
+        feedback: Optional[object] = None,
+        search: Optional[SearchTrace] = None,
     ):
         self.catalog = catalog
         self.model = model or CostModel()
@@ -215,6 +221,10 @@ class Planner:
         self.page_size = catalog.pool.disk.page_size
         self.last_stats: Optional[PlannerStats] = None
         self.tracer = tracer or Tracer(enabled=False)
+        #: FeedbackStore consulted when ``options.use_feedback`` is on
+        self.feedback = feedback
+        #: SearchTrace that region enumerations are recorded into
+        self.search = search
 
     # -- entry points ---------------------------------------------------------------
 
@@ -432,13 +442,22 @@ class Planner:
                 post_filters.extend(graph.filters.get(binding, []))
                 graph.filters[binding] = []
         resolver = StatsResolver(graph)
-        estimator = Estimator(resolver, self.options.estimator)
+        estimator = Estimator(
+            resolver,
+            self.options.estimator,
+            feedback=self.feedback if self.options.use_feedback else None,
+        )
         equivalence = graph.order_equivalence()
         if not hasattr(self, "_binding_tables"):
             self._binding_tables = {}
         for binding, get in graph.relations.items():
             self._binding_tables[binding] = get.table
         strategy = self.options.strategy
+        region_search = (
+            self.search.new_region(strategy, graph.relations)
+            if self.search is not None
+            else None
+        )
 
         with self.tracer.span("join_enumeration") as span:
             if strategy in ("dp", "dp-bushy"):
@@ -450,6 +469,7 @@ class Planner:
                     use_interesting_orders=self.options.use_interesting_orders,
                     page_size=self.page_size,
                     needed_columns=self._needed_per_binding(region, graph),
+                    search=region_search,
                 )
                 wanted = self._wanted_in_region(desired.all, graph, equivalence)
                 for name in wanted:
@@ -478,6 +498,20 @@ class Planner:
                     )
                 sub = baseline.plan()
                 self.last_stats = baseline.stats
+                if region_search is not None:
+                    # Baseline strategies don't enumerate alternatives;
+                    # record the single plan they commit to.
+                    region_search.record(
+                        tuple(sorted(sub.relations)),
+                        sub.plan,
+                        sub.rows,
+                        sub.cost.total,
+                        sub.order,
+                        True,
+                        f"chosen by {strategy} strategy",
+                    )
+            if region_search is not None:
+                region_search.mark_chosen(sub.plan, sub.cost.total)
             span.add("relations", len(graph.relations))
             stats = self.last_stats
             if stats is not None:

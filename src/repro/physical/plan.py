@@ -12,6 +12,7 @@ actuals.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
@@ -52,6 +53,9 @@ class PhysicalPlan:
     schema: Schema
     est_rows: float = 0.0
     est_cost: Any = None  # repro.optimizer.cost.Cost, untyped to avoid cycle
+    #: estimation-target key stamped by the optimizer at pricing time;
+    #: execution actuals harvested under it feed the FeedbackStore
+    feedback_key: Optional[str] = None
     # -- actuals, filled by instrumented execution --------------------------
     actual_rows: Optional[int] = None
     actual_loops: int = 0  # times this node's iterator was (re)started
@@ -114,9 +118,13 @@ class PhysicalPlan:
             self.actual_writes = (self.actual_writes or 0) + writes
 
     def q_error(self) -> Optional[float]:
-        """Cardinality estimation error (≥ 1) once actuals are known."""
+        """Cardinality estimation error (≥ 1) once actuals are known.
+        Zero rows on either side count as one; a non-finite estimate
+        reports ``inf`` rather than propagating NaN."""
         if self.actual_rows is None:
             return None
+        if not math.isfinite(self.est_rows):
+            return math.inf
         est = max(self.est_rows, 1.0)
         act = max(float(self.actual_rows), 1.0)
         return max(est / act, act / est)

@@ -149,3 +149,6 @@ class AnalyzeStmt(Statement):
 class ExplainStmt(Statement):
     inner: SelectStmt
     analyze: bool = False
+    verbose: bool = False  # more detail in whatever sections are shown
+    search: bool = False  # append the optimizer's SearchTrace
+    diff: bool = False  # diff the plan against the stored baseline

@@ -17,7 +17,8 @@ KEYWORDS = {
     "UNIQUE", "CLUSTERED", "USING", "BTREE", "HASH", "ANALYZE", "EXPLAIN",
     "NULL", "TRUE", "FALSE", "IS", "IN", "LIKE", "BETWEEN", "COUNT", "SUM",
     "AVG", "MIN", "MAX", "PRIMARY", "KEY", "DROP", "CROSS", "DELETE",
-    "UPDATE", "SET", "EXISTS", "VIEW", "ANALYSE",
+    "UPDATE", "SET", "EXISTS", "VIEW", "ANALYSE", "VERBOSE", "SEARCH",
+    "DIFF",
 }
 
 SYMBOLS = [

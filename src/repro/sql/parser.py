@@ -151,11 +151,7 @@ class _Parser:
             return self.select()
         if self.at_keyword("EXPLAIN"):
             self.advance()
-            analyze = self.accept_keyword("ANALYZE") or self.accept_keyword(
-                "ANALYSE"
-            )
-            inner = self.select()
-            return ExplainStmt(inner, analyze)
+            return self._explain_tail()
         if self.at_keyword("CREATE"):
             return self.create()
         if self.at_keyword("DROP"):
@@ -182,6 +178,45 @@ class _Parser:
                 return AnalyzeStmt(self.expect_ident())
             return AnalyzeStmt(None)
         raise ParseError(f"unexpected {self.current}", self.current)
+
+    def _explain_tail(self) -> ExplainStmt:
+        """EXPLAIN options: parenthesized PostgreSQL-style list
+        ``EXPLAIN (ANALYZE, VERBOSE, SEARCH)`` or the bare keyword form
+        ``EXPLAIN ANALYZE VERBOSE SEARCH`` — both precede the SELECT."""
+        analyze = verbose = search = diff = False
+
+        def accept_option() -> bool:
+            nonlocal analyze, verbose, search, diff
+            if self.accept_keyword("ANALYZE", "ANALYSE"):
+                analyze = True
+            elif self.accept_keyword("VERBOSE"):
+                verbose = True
+            elif self.accept_keyword("SEARCH"):
+                search = True
+            elif self.accept_keyword("DIFF"):
+                diff = True
+            else:
+                return False
+            return True
+
+        if self.accept_symbol("("):
+            first = True
+            while not self.at_symbol(")"):
+                if not first:
+                    self.accept_symbol(",")  # separator is optional
+                if not accept_option():
+                    raise ParseError(
+                        f"unknown EXPLAIN option {self.current}", self.current
+                    )
+                first = False
+            self.expect_symbol(")")
+        else:
+            while accept_option():
+                pass
+        inner = self.select()
+        return ExplainStmt(
+            inner, analyze, verbose=verbose, search=search, diff=diff
+        )
 
     def select(self) -> SelectStmt:
         self.expect_keyword("SELECT")

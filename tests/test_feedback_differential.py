@@ -1,0 +1,74 @@
+"""Differential guarantee for feedback-driven planning: with
+``use_feedback=True`` the optimizer may pick different plans, but every
+query must return exactly the rows the brute-force reference produces.
+
+The feedback store is deliberately *polluted* first — every case runs
+once cold so the store holds real est-vs-actual corrections — and then
+each case re-runs with corrected estimates.  The tier-1 slice covers 30
+cases; the ``slow`` sweep re-checks 150 in nightly CI under a rotating
+``REPRO_MATRIX_SEED``.
+"""
+
+import os
+
+import pytest
+
+from repro import Database
+from repro.optimizer import PlannerOptions
+from repro.qa import RandomWorkload
+from repro.qa.randomqueries import load_dataset
+
+SEED = int(os.environ.get("REPRO_MATRIX_SEED", "1977"))
+
+_workload = RandomWorkload(SEED)
+_reference = _workload.reference()
+_db = None
+
+
+def database() -> Database:
+    """One engine, loaded once, with the feedback store pre-warmed on
+    the first 30 cases (cold planning, automatic harvest)."""
+    global _db
+    if _db is None:
+        _db = Database(buffer_pages=64, work_mem_pages=4)
+        load_dataset(_db, _workload.dataset())
+        for index in range(30):
+            _db.query(_workload.case(index).sql)
+        assert len(_db.feedback) > 0, "warm-up harvested nothing"
+    return _db
+
+
+def check_case(index: int):
+    case = _workload.case(index)
+    db = database()
+    db.options = PlannerOptions(use_feedback=True)
+    try:
+        corrected = db.query(case.sql).rows
+    finally:
+        db.options = PlannerOptions()
+    plain = db.query(case.sql).rows
+    assert case.matches(corrected, _reference), (
+        f"feedback-corrected planning changed results for seed={SEED} "
+        f"case={index}\n  sql: {case.sql}"
+    )
+    assert sorted(map(repr, corrected)) == sorted(map(repr, plain)), (
+        f"feedback on/off disagree for seed={SEED} case={index}\n"
+        f"  sql: {case.sql}"
+    )
+
+
+class TestFeedbackSlice:
+    """Tier-1: the warmed-up store must never change any result."""
+
+    @pytest.mark.parametrize("index", range(30))
+    def test_case_matches_reference_with_feedback(self, index):
+        check_case(index)
+
+
+@pytest.mark.slow
+class TestFeedbackFullSweep:
+    """Nightly: wider case range, rotating seed."""
+
+    @pytest.mark.parametrize("index", range(30, 150))
+    def test_case_matches_reference_with_feedback(self, index):
+        check_case(index)

@@ -90,3 +90,43 @@ class TestRepl:
             "\\q\n"
         )
         assert "IndexScan" in out or "SeqScan" in out
+
+    def test_search_meta_command(self):
+        out = run_repl(
+            "\\search\n"
+            "CREATE TABLE t (a INT, b INT);\n"
+            "CREATE TABLE u (a INT, c INT);\n"
+            "INSERT INTO t VALUES (1, 2), (2, 3);\n"
+            "INSERT INTO u VALUES (1, 7), (2, 8);\n"
+            "ANALYZE;\n"
+            "EXPLAIN (SEARCH) SELECT t.b, u.c FROM t, u WHERE t.a = u.a;\n"
+            "\\search\n"
+            "\\q\n"
+        )
+        assert "no search trace yet" in out
+        assert "ranked alternatives" in out
+        assert "chosen:" in out
+
+    def test_qlog_meta_command(self):
+        out = run_repl(
+            "\\qlog\n"
+            "CREATE TABLE t (a INT);\n"
+            "INSERT INTO t VALUES (1), (2), (3);\n"
+            "SELECT a FROM t WHERE a > 1;\n"
+            "\\qlog 5\n"
+            "\\q\n"
+        )
+        assert "query log is empty" in out
+        assert "q-err=" in out
+        assert "SELECT a FROM t WHERE a > 1" in out
+
+    def test_metrics_prom(self):
+        out = run_repl(
+            "CREATE TABLE t (a INT);\n"
+            "INSERT INTO t VALUES (1);\n"
+            "SELECT a FROM t;\n"
+            "\\metrics prom\n"
+            "\\q\n"
+        )
+        assert "# TYPE repro_queries_total counter" in out
+        assert "repro_buffer_pool_hit_rate" in out
