@@ -1,0 +1,33 @@
+"""E16 — system-statistics overhead and reconciliation.
+
+Shapes asserted: wait-event accounting costs at most 5% throughput on
+the scan→filter→aggregate workload (warm and cold), and every aggregate
+the ``sys_stat_*`` tables serve through SQL reconciles exactly with the
+engine's internal counters.
+"""
+
+from conftest import save_tables
+
+from repro.bench import e16_systables
+from repro.workloads import WholesaleScale
+
+
+def run_experiment():
+    return e16_systables.run(scale=WholesaleScale.small(), repeats=5)
+
+
+def test_bench_e16_systables(benchmark):
+    tables = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_tables("e16_systables", tables)
+    overhead, reconciliation = tables
+
+    # wait accounting must cost at most ~5%, warm or cold; the floor
+    # carries a little slack below 0.95 because best-of-5 timing on a
+    # shared runner still jitters a few percent either way
+    for row in overhead.rows:
+        ratio = row[-1].value
+        assert ratio >= 0.92, (row[0], ratio)
+
+    # every reconciliation check must be exact
+    for row in reconciliation.rows:
+        assert row[-1] == "True", row

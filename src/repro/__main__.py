@@ -14,8 +14,16 @@ with ``;``.  Meta-commands:
   planned query (ranked join-order/access-path alternatives)
 * ``\\qlog [N]``     — last N query-log records (default 10) with q-error
   and plan-change flags
+* ``\\waits``        — cumulative wait events (where time goes); the same
+  data SQL sees as ``SELECT * FROM sys_stat_waits``
+* ``\\slow [N]``     — last N auto_explain captures (default 5);
+  ``\\slow on [MS]`` / ``\\slow off`` toggles capture (threshold in ms)
 * ``\\load demo``    — load the wholesale demo schema
 * ``\\q``            — quit
+
+The ``sys_stat_*`` system tables (statements, tables, waits, metrics,
+activity) are ordinary SELECT targets — e.g.
+``SELECT * FROM sys_stat_statements ORDER BY total_ms DESC LIMIT 5;``.
 """
 
 from __future__ import annotations
@@ -117,6 +125,56 @@ def main(argv=None) -> int:
                         f"exec={record.execution_ms:7.2f}ms{flag}  "
                         f"{sql_text}"
                     )
+            elif command == "\\waits":
+                rows = db.waits.rows()
+                if not rows:
+                    print("no wait events recorded yet")
+                for event, count, total_ms, mean_ms in rows:
+                    print(
+                        f"  {event:<20} n={count:<8} "
+                        f"total={total_ms:9.2f}ms  mean={mean_ms:7.3f}ms"
+                    )
+            elif command == "\\slow":
+                if len(parts) > 1 and parts[1] in ("on", "off"):
+                    enabled = parts[1] == "on"
+                    kwargs = {"enabled": enabled}
+                    if enabled and len(parts) > 2:
+                        try:
+                            kwargs["threshold_ms"] = float(parts[2])
+                        except ValueError:
+                            print("usage: \\slow on [THRESHOLD_MS]")
+                            continue
+                    db.auto_explain.configure(**kwargs)
+                    state = "on" if enabled else "off"
+                    print(
+                        f"auto_explain {state}"
+                        + (
+                            f" (threshold {db.auto_explain.threshold_ms} ms)"
+                            if enabled
+                            else ""
+                        )
+                    )
+                    continue
+                n = 5
+                if len(parts) > 1 and parts[1].isdigit():
+                    n = int(parts[1])
+                captures = db.auto_explain.entries()[-n:]
+                if not captures:
+                    state = "on" if db.auto_explain.enabled else "off"
+                    print(
+                        f"no slow-query captures (auto_explain is {state}; "
+                        "\\slow on [MS] enables)"
+                    )
+                for entry in captures:
+                    sql_text = " ".join(entry["sql"].split())
+                    if len(sql_text) > 60:
+                        sql_text = sql_text[:57] + "..."
+                    print(
+                        f"-- exec={entry['execution_ms']:.2f}ms "
+                        f"plan={entry['planning_ms']:.2f}ms "
+                        f"rows={entry['rows']}  {sql_text}"
+                    )
+                    print(entry["plan"])
             elif command == "\\strategy":
                 if len(parts) > 1 and parts[1] in STRATEGIES:
                     db.set_strategy(parts[1])

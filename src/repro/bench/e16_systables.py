@@ -1,0 +1,155 @@
+"""E16 — system-statistics overhead and reconciliation.
+
+Always-on telemetry is only viable if the hot path barely notices it.
+This experiment measures the cost of wait-event accounting on the E13
+scan→filter→aggregate workload — executor throughput with the wait
+registry attached vs detached, warm (no I/O: the cost is the lock
+fast-path) and cold (every page read is timed) — and then audits the
+``sys_stat_*`` tables themselves: the aggregates they serve through SQL
+must reconcile exactly with the engine's own counters.
+
+Expected shape: overhead within noise (well under 5% either way), and
+every reconciliation row exact — statement calls equal queries issued,
+``io.read`` wait counts equal disk reads, per-table ``rows_read`` equals
+rows scanned.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from ..executor import ExecContext
+from ..executor import run as exec_run
+from ..obs import InstrumentLevel, WaitEventStats
+from ..workloads import WholesaleScale, load_wholesale
+from .e13_batching import AGG_QUERY
+from .measure import fresh_db
+from .tables import Ratio, ResultTable
+
+
+def _throughput(db, plan, repeats: int, cold: bool) -> float:
+    """Best-of-*repeats* source rows/second at the default ROWS level."""
+    best = 0.0
+    for _ in range(max(1, repeats)):
+        if cold:
+            db.pool.clear()
+        ctx = ExecContext(
+            db.pool,
+            db.work_mem_pages,
+            instrument=InstrumentLevel.ROWS,
+            batch_size=db.batch_size,
+        )
+        start = time.perf_counter()
+        exec_run(plan, ctx)
+        elapsed = time.perf_counter() - start
+        best = max(best, ctx.metrics.rows_scanned / elapsed if elapsed else 0.0)
+    return best
+
+
+def _overhead_table(db, plan, repeats: int) -> ResultTable:
+    table = ResultTable(
+        "E16 — wait-accounting overhead (scan-filter-agg, rows/sec)",
+        ["pool state", "waits off: krows/s", "waits on: krows/s", "on/off"],
+        notes=(
+            f"best of {repeats} runs each; 'on' times every disk page "
+            "access and contended lock acquire into the wait registry"
+        ),
+    )
+    for label, cold in (("warm", False), ("cold", True)):
+        db.pool.waits = None
+        off = _throughput(db, plan, repeats, cold)
+        db.pool.waits = db.waits
+        on = _throughput(db, plan, repeats, cold)
+        table.add(
+            label,
+            off / 1000.0,
+            on / 1000.0,
+            Ratio(on / off if off else 0.0),
+        )
+    return table
+
+
+def _reconciliation_table(db, queries_run: int) -> ResultTable:
+    """Audit the system tables through the engine's own SQL."""
+
+    def one(sql: str):
+        rows = db.query(sql).rows
+        return rows[0][0] if rows else 0
+
+    table = ResultTable(
+        "E16 — system-table reconciliation (SQL view vs engine counters)",
+        ["check", "via SQL", "engine counter", "exact"],
+        notes="each aggregate served by a sys_stat_* table must equal the "
+        "counter the engine maintains internally",
+    )
+    # engine-side values are captured BEFORE each probe query: the system
+    # tables snapshot at planning time, so the observing statement's own
+    # execution is not part of what it sees
+    calls = one(
+        "SELECT calls FROM sys_stat_statements "
+        "WHERE statement = 'select status, count(*) as n, sum(total) as "
+        "revenue from orders where total > ? group by status'"
+    )
+    table.add(
+        "statement calls", calls, queries_run, str(calls == queries_run)
+    )
+    reads_before = db.disk.stats.reads
+    io_read = one(
+        "SELECT wait_count FROM sys_stat_waits WHERE event = 'io.read'"
+    )
+    table.add(
+        "io.read waits = disk reads",
+        io_read,
+        reads_before,
+        str(io_read == reads_before),
+    )
+    expected_rows = db.table("orders").access.rows_read
+    rows_read = one(
+        "SELECT rows_read FROM sys_stat_tables WHERE table_name = 'orders'"
+    )
+    table.add(
+        "orders rows_read",
+        rows_read,
+        expected_rows,
+        str(rows_read == expected_rows),
+    )
+    engine_total = db.metrics.counter("queries_total").value
+    queries_total = one(
+        "SELECT value FROM sys_stat_metrics WHERE name = 'queries_total'"
+    )
+    table.add(
+        "queries_total metric",
+        int(queries_total),
+        int(engine_total),
+        str(queries_total == engine_total),
+    )
+    return table
+
+
+def run(
+    scale: Optional[WholesaleScale] = None,
+    buffer_pages: int = 64,
+    work_mem_pages: int = 64,
+    repeats: int = 5,
+    queries: int = 4,
+    seed: int = 42,
+) -> List[ResultTable]:
+    db = fresh_db(buffer_pages=buffer_pages, work_mem_pages=work_mem_pages)
+    load_wholesale(db, scale or WholesaleScale.small(), seed=seed)
+    assert isinstance(db.waits, WaitEventStats)
+
+    plan = db.plan(AGG_QUERY)
+    overhead = _overhead_table(db, plan, repeats)
+
+    # a fresh, deterministic slate for the reconciliation workload
+    db.pool.waits = db.waits
+    db.waits.reset()
+    db.metrics.reset()
+    db.query_log.clear()
+    db.pool.clear()
+    db.reset_io()
+    for _ in range(queries):
+        db.query(AGG_QUERY)
+    reconciliation = _reconciliation_table(db, queries)
+    return [overhead, reconciliation]

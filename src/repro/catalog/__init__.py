@@ -1,6 +1,13 @@
 """Catalog: table/index metadata and ANALYZE statistics."""
 
-from .catalog import Catalog, CatalogError, IndexInfo, IndexKind, TableInfo
+from .catalog import (
+    Catalog,
+    CatalogError,
+    IndexInfo,
+    IndexKind,
+    TableAccessStats,
+    TableInfo,
+)
 from .stats import (
     ColumnStats,
     Histogram,
@@ -16,6 +23,7 @@ __all__ = [
     "CatalogError",
     "IndexInfo",
     "IndexKind",
+    "TableAccessStats",
     "TableInfo",
     "ColumnStats",
     "Histogram",

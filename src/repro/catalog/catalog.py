@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..index import BPlusTree, HashIndex
 from ..storage import BufferPool, HeapFile
@@ -67,6 +67,44 @@ class IndexInfo:
 
 
 @dataclass
+class TableAccessStats:
+    """Cumulative access counters for one table (``sys_stat_tables``).
+
+    Maintained by the scan operators — every sequential scan start, index
+    scan start, row produced and page touched on behalf of this table is
+    counted here, in the parent process (parallel workers ship their
+    deltas back with the rest of their accounting).
+    """
+
+    seq_scans: int = 0
+    index_scans: int = 0
+    rows_read: int = 0
+    pages_hit: int = 0
+    pages_read: int = 0
+
+    def snapshot(self) -> Tuple[int, int, int, int, int]:
+        return (
+            self.seq_scans,
+            self.index_scans,
+            self.rows_read,
+            self.pages_hit,
+            self.pages_read,
+        )
+
+    def add(self, delta: Sequence[int]) -> None:
+        seq, idx, rows, hits, reads = delta
+        self.seq_scans += seq
+        self.index_scans += idx
+        self.rows_read += rows
+        self.pages_hit += hits
+        self.pages_read += reads
+
+    def delta(self, earlier: Sequence[int]) -> Tuple[int, int, int, int, int]:
+        now = self.snapshot()
+        return tuple(n - e for n, e in zip(now, earlier))  # type: ignore[return-value]
+
+
+@dataclass
 class TableInfo:
     """Metadata + storage for one table."""
 
@@ -75,6 +113,7 @@ class TableInfo:
     heap: HeapFile
     indexes: Dict[str, IndexInfo] = field(default_factory=dict)  # by column
     stats: Optional[TableStats] = None
+    access: TableAccessStats = field(default_factory=TableAccessStats)
 
     @property
     def num_rows(self) -> int:
@@ -93,12 +132,17 @@ class TableInfo:
         return self.stats.column(column)
 
 
+#: a system-table provider: () -> (schema, rows), snapshotted on reference
+SystemTableProvider = Callable[[], Tuple[Schema, List[Tuple[Any, ...]]]]
+
+
 class Catalog:
     """All tables and indexes of one database instance."""
 
     def __init__(self, pool: BufferPool):
         self.pool = pool
         self._tables: Dict[str, TableInfo] = {}
+        self._system_tables: Dict[str, SystemTableProvider] = {}
 
     # -- tables ----------------------------------------------------------------
 
@@ -134,6 +178,45 @@ class Catalog:
 
     def tables(self) -> List[TableInfo]:
         return list(self._tables.values())
+
+    # -- system (virtual) tables -------------------------------------------------
+
+    def register_system_table(
+        self, name: str, provider: SystemTableProvider
+    ) -> None:
+        """Register a read-only virtual table.
+
+        System tables are *providers*, not storage: referencing one in a
+        query makes the engine call the provider, snapshot the returned
+        rows into a transient heap table of the same name, and plan the
+        statement against that — so every planner and executor feature
+        (filters, joins, ORDER BY, parallelism) composes with them, and
+        the optimizer prices them like the tiny freshly-ANALYZEd scans
+        they are.  A user table of the same name shadows the provider.
+        """
+        key = name.lower()
+        if key in self._system_tables:
+            raise CatalogError(f"system table {name!r} already registered")
+        self._system_tables[key] = provider
+
+    def is_system_table(self, name: str) -> bool:
+        """True when *name* resolves to a provider (and no user table
+        shadows it)."""
+        key = name.lower()
+        return key in self._system_tables and key not in self._tables
+
+    def system_table_names(self) -> List[str]:
+        return sorted(self._system_tables)
+
+    def system_table_rows(
+        self, name: str
+    ) -> Tuple[Schema, List[Tuple[Any, ...]]]:
+        """Snapshot one system table: its schema and current rows."""
+        try:
+            provider = self._system_tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no such system table: {name}") from None
+        return provider()
 
     # -- rows ---------------------------------------------------------------------
 

@@ -28,6 +28,8 @@ from ..catalog import Catalog, IndexKind, TableInfo
 from ..executor import ExecContext, ExecMetrics, run
 from ..expr import Literal
 from ..obs import (
+    ActivityRegistry,
+    AutoExplain,
     FeedbackStore,
     InstrumentLevel,
     MetricsRegistry,
@@ -38,10 +40,12 @@ from ..obs import (
     SearchTrace,
     Span,
     Tracer,
+    WaitEventStats,
     plan_diff,
     plan_fingerprint,
     plan_shape_text,
     q_error,
+    register_system_tables,
     statement_fingerprint,
 )
 from ..optimizer import CostModel, Planner, PlannerOptions, PlannerStats
@@ -127,6 +131,18 @@ class Database:
         self.feedback = FeedbackStore()
         #: the optimizer SearchTrace of the most recent planning pass
         self.last_search: Optional[SearchTrace] = None
+        #: cumulative wait-event accounting (io/lock/exec/exchange classes);
+        #: attached to the buffer pool so page I/O and lock contention are
+        #: timed at the source
+        self.waits = WaitEventStats()
+        if self.obs.waits:
+            self.pool.waits = self.waits
+        #: in-flight user statements (serves ``sys_stat_activity``)
+        self.activity = ActivityRegistry()
+        #: slow-statement capture (``auto_explain``-style)
+        self.auto_explain = AutoExplain(self.obs.auto_explain)
+        if self.obs.system_tables:
+            register_system_tables(self)
 
     # -- statement dispatch ------------------------------------------------------------
 
@@ -332,6 +348,7 @@ class Database:
             if expansion.transient_tables:
                 span.add("views_materialized", len(expansion.transient_tables))
         self._live_transients.extend(expansion.transient_tables)
+        self._materialize_system_tables(expansion.stmt)
         with tracer.span("decorrelation") as span:
             before = len(self._live_transients)
             stmt = self._decompose_subqueries(expansion.stmt)
@@ -411,6 +428,35 @@ class Database:
         self.catalog.insert_rows(table_name, result.rows)
         self.catalog.analyze(table_name)
         return table_name
+
+    def _materialize_system_tables(self, stmt: SelectStmt) -> None:
+        """Snapshot every ``sys_stat_*`` table *stmt* references into a
+        transient heap table of the same name (dropped when the statement
+        finishes, exactly like a materialized view).
+
+        Materializing — rather than teaching the executor about virtual
+        tables — means the planner prices a system table like any small,
+        freshly-ANALYZEd table and every SQL feature (filters, joins,
+        ORDER BY, aggregation, EXPLAIN) composes with zero special cases.
+        The snapshot is taken once, at statement start, so self-joins of a
+        system table see one consistent picture.  A user table with the
+        same name shadows the provider (``is_system_table`` is False),
+        which also makes re-materialization within one statement a no-op.
+        """
+        catalog = self.catalog
+        if not catalog.system_table_names():
+            return
+        refs = [ref.table for ref in stmt.from_tables]
+        refs += [join.table.table for join in stmt.joins]
+        for name in refs:
+            key = name.lower()
+            if not catalog.is_system_table(key):
+                continue
+            schema, rows = catalog.system_table_rows(key)
+            catalog.create_table(key, schema)
+            catalog.insert_rows(key, rows)
+            catalog.analyze(key)
+            self._live_transients.append(key)
 
     def drop_transients(self) -> None:
         """Drop transient tables left over from planning view queries."""
@@ -704,6 +750,7 @@ class Database:
         physical: PhysicalPlan,
         cold: bool = False,
         analyze: bool = False,
+        activity: Optional[Any] = None,
     ) -> QueryResult:
         """Execute an already-built physical plan, measuring real I/O.
 
@@ -711,18 +758,26 @@ class Database:
         page-fetch costs (what the experiments usually want).
         ``analyze=True`` forces FULL instrumentation (per-operator timing
         and attributed buffer/disk counters) regardless of the configured
-        default level.
+        default level; an enabled ``auto_explain`` with ``analyze=True``
+        (its default) forces the same, so captures carry per-node timing —
+        the trade PostgreSQL's ``auto_explain.log_analyze`` makes.
         """
         if cold:
             self.pool.clear()
         before_io = self.disk.stats.snapshot()
         before_buf = self.pool.stats.snapshot()
-        level = InstrumentLevel.FULL if analyze else self.obs.instrument
+        if analyze or (
+            self.auto_explain.enabled and self.auto_explain.config.analyze
+        ):
+            level = InstrumentLevel.FULL
+        else:
+            level = self.obs.instrument
         ctx = ExecContext(
             self.pool,
             self.work_mem_pages,
             instrument=level,
             batch_size=self.batch_size,
+            activity=activity,
         )
         start = time.perf_counter()
         rows = run(physical, ctx)
@@ -762,20 +817,39 @@ class Database:
         tracer = tracer or Tracer(enabled=False)
         start = time.perf_counter()
         before_transients = len(self._live_transients)
+        entry = self.activity.begin(sql) if sql is not None else None
         try:
             with tracer.span("plan"):
                 physical, pstats = self.plan_select(
                     stmt, tracer=tracer, collect_search=collect_search
                 )
             planning = time.perf_counter() - start
+            if entry is not None:
+                entry.phase = "executing"
+            waits0 = self.waits.snapshot() if self.obs.waits else None
             with tracer.span("execute"):
-                result = self.run_plan(physical, analyze=analyze)
+                result = self.run_plan(physical, analyze=analyze, activity=entry)
         finally:
             # transient tables created for THIS statement's views
             self._drop_transients_from(before_transients)
+            if entry is not None:
+                self.activity.finish(entry)
+        if waits0 is not None:
+            # exec.cpu = wall execution time minus the blocked time that
+            # accrued during it, so cpu + io + lock (+ exchange) adds back
+            # up to measured execution time
+            blocked = sum(
+                seconds
+                for event, (_, seconds) in self.waits.delta(waits0).items()
+                if not event.startswith("exec.")
+            )
+            self.waits.record(
+                "exec.cpu", max(0.0, result.execution_seconds - blocked)
+            )
         result.planner_stats = pstats
         result.planning_seconds = planning
         self._record_query(sql, physical, result)
+        self._maybe_auto_explain(sql, physical, result)
         return result
 
     def _record_query(
@@ -855,8 +929,31 @@ class Database:
                     ),
                     plan_changed=plan_changed,
                     baseline_cost_delta=cost_delta,
+                    buffer_hits=result.buffer.hits if result.buffer else 0,
                 )
             )
+
+    def _maybe_auto_explain(
+        self, sql: Optional[str], physical: PhysicalPlan, result: QueryResult
+    ) -> None:
+        """Capture user statements that crossed the auto_explain threshold."""
+        if sql is None or not self.auto_explain.enabled:
+            return
+        search_summary = None
+        if self.last_search is not None and len(self.last_search):
+            search_summary = self.last_search.render(top=3)
+        captured = self.auto_explain.maybe_capture(
+            sql=sql,
+            execution_ms=result.execution_seconds * 1000.0,
+            planning_ms=result.planning_seconds * 1000.0,
+            rows=result.rowcount,
+            plan_text=physical.pretty(actuals=True),
+            reads=result.io.reads if result.io else 0,
+            writes=result.io.writes if result.io else 0,
+            search_summary=search_summary,
+        )
+        if captured is not None and self.obs.metrics:
+            self.metrics.counter("slow_queries_captured_total").inc()
 
     def _harvest_feedback(self, physical: PhysicalPlan) -> None:
         """Fold this execution's per-node actuals into the feedback store.
@@ -894,7 +991,15 @@ class Database:
                 "query_log_entries": float(len(self.query_log)),
                 "feedback_entries": float(len(self.feedback)),
                 "plan_baselines": float(len(self.baselines)),
+                "wait_events_total": float(len(self.waits)),
+                "slow_query_captures": float(self.auto_explain.captured_total),
             }
+            # one pair of series per wait event, dots flattened for the
+            # exposition grammar (io.read -> wait_io_read_*)
+            for event, count, total_ms, _ in self.waits.rows():
+                flat = event.replace(".", "_")
+                extras[f"wait_{flat}_count"] = float(count)
+                extras[f"wait_{flat}_seconds"] = total_ms / 1000.0
             return self.metrics.render_prometheus(extras=extras)
         if format != "json":
             raise EngineError(f"unknown metrics format {format!r}")
@@ -915,6 +1020,12 @@ class Database:
             "allocations": dstats.allocations,
         }
         snap["query_log_entries"] = len(self.query_log)
+        snap["waits"] = self.waits.as_dict()
+        snap["auto_explain"] = {
+            "enabled": self.auto_explain.enabled,
+            "captured_total": self.auto_explain.captured_total,
+            "entries": len(self.auto_explain),
+        }
         return snap
 
     def _insert(self, stmt: InsertStmt) -> int:

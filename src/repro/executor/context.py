@@ -62,6 +62,7 @@ class ExecContext:
         instrument: InstrumentLevel = InstrumentLevel.ROWS,
         batch_size: int = DEFAULT_BATCH_SIZE,
         partition: Optional[PartitionContext] = None,
+        activity: Optional[Any] = None,
     ):
         if work_mem_pages < 3:
             raise ValueError("work memory must be at least 3 pages")
@@ -74,6 +75,9 @@ class ExecContext:
         #: set only inside a parallel worker: which exchange partition this
         #: execution computes (partition-aware operators consult it)
         self.partition = partition
+        #: the in-flight statement's ActivityEntry (``sys_stat_activity``);
+        #: the run loop updates its progress fields batch by batch
+        self.activity = activity
         self.metrics = ExecMetrics()
         self._temp_counter = 0
         self._temp_files: List[HeapFile] = []

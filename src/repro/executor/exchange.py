@@ -26,7 +26,12 @@ observability stays exact:
   parent's plan tree in ``walk_plan`` order;
 * buffer/disk stat deltas, added to the parent's pool and disk counters;
 * executor metrics (rows scanned, spills, ...), absorbed into the parent
-  context.
+  context;
+* wait-event deltas (``io.*``/``lock.*`` accrued inside the worker, plus
+  ``exchange.startup`` fork latency and the blocking ``exchange.send``)
+  and per-table access deltas, merged into the parent's
+  :class:`~repro.obs.WaitEventStats` and catalog — the parent itself
+  times each pipe drain as ``exchange.recv``.
 
 When forking is unavailable (non-fork platforms), the region is nested
 inside another parallel region, or ``degree == 1``, the gather runs each
@@ -40,6 +45,7 @@ from __future__ import annotations
 import heapq
 import multiprocessing
 import os
+import time
 import traceback
 from typing import List, Optional, Tuple
 
@@ -211,9 +217,14 @@ class GatherOp(Operator):
 
     def _run_forked(self, degree: int) -> List[List[Row]]:
         mp = multiprocessing.get_context("fork")
+        waits = self.ctx.pool.waits
         workers = []
         for w in range(degree):
             recv_end, send_end = mp.Pipe(duplex=False)
+            # perf_counter is CLOCK_MONOTONIC: system-wide, so the forked
+            # child can measure fork-to-first-instruction latency against
+            # this parent-side stamp ("exchange.startup").
+            self._fork_t0 = time.perf_counter()
             proc = mp.Process(
                 target=self._worker_main,
                 args=(w, degree, send_end),
@@ -230,9 +241,22 @@ class GatherOp(Operator):
             # Receive before join: a worker blocks in send() until the
             # parent drains the pipe, so joining first would deadlock.
             try:
+                t0 = time.perf_counter()
                 payload = recv_end.recv()
+                if waits is not None:
+                    waits.record("exchange.recv", time.perf_counter() - t0)
             except EOFError:
                 payload = {"error": f"worker {w} died without a result"}
+            else:
+                if "error" not in payload:
+                    # the worker follows its payload with the seconds its
+                    # (blocking) send spent waiting on this pipe
+                    try:
+                        send_wait = recv_end.recv()
+                    except EOFError:
+                        send_wait = 0.0
+                    if waits is not None and send_wait:
+                        waits.record("exchange.send", send_wait)
             finally:
                 recv_end.close()
             proc.join()
@@ -250,12 +274,25 @@ class GatherOp(Operator):
     def _worker_main(self, worker: int, degree: int, conn) -> None:
         """Runs in the forked child: execute one partition, ship results."""
         try:
+            startup = time.perf_counter() - self._fork_t0
             ctx = self.ctx
             pool = ctx.pool  # the fork's private copy-on-write pool
             buf0 = pool.stats.snapshot()
             io0 = pool.disk.stats.snapshot()
-            wctx = self._worker_context(worker, degree)
+            waits = pool.waits  # private COW copy; deltas ship back
+            w0 = waits.snapshot() if waits is not None else {}
+            if waits is not None:
+                waits.record("exchange.startup", max(0.0, startup))
             subplan = self.exchange.child
+            tables = {
+                info.name: info
+                for info in (
+                    getattr(node, "table", None) for node in walk_plan(subplan)
+                )
+                if info is not None and hasattr(info, "access")
+            }
+            t0 = {name: info.access.snapshot() for name, info in tables.items()}
+            wctx = self._worker_context(worker, degree)
             # Zero the (private) actuals so what ships is this worker's
             # contribution alone.
             subplan.reset_actuals()
@@ -263,6 +300,7 @@ class GatherOp(Operator):
             buf = pool.stats.delta(buf0)
             io = pool.disk.stats.delta(io0)
             m = wctx.metrics
+            t_send = time.perf_counter()
             conn.send(
                 {
                     "rows": rows,
@@ -289,8 +327,16 @@ class GatherOp(Operator):
                     ),
                     "buf": (buf.hits, buf.misses, buf.evictions, buf.dirty_writebacks),
                     "io": (io.reads, io.writes, io.seq_reads, io.allocations),
+                    "waits": waits.delta(w0) if waits is not None else {},
+                    "taccess": {
+                        name: info.access.delta(t0[name])
+                        for name, info in tables.items()
+                    },
                 }
             )
+            # the payload send blocks until the parent drains the pipe;
+            # ship how long that took as the worker's "exchange.send" wait
+            conn.send(time.perf_counter() - t_send)
         except BaseException:
             try:
                 conn.send({"error": traceback.format_exc()})
@@ -331,6 +377,21 @@ class GatherOp(Operator):
         io.writes += writes
         io.seq_reads += seq_reads
         io.allocations += allocations
+        if ctx.pool.waits is not None:
+            ctx.pool.waits.merge(payload.get("waits", {}))
+        taccess = payload.get("taccess", {})
+        if taccess:
+            tables = {
+                info.name: info
+                for info in (
+                    getattr(node, "table", None)
+                    for node in walk_plan(self.exchange.child)
+                )
+                if info is not None and hasattr(info, "access")
+            }
+            for name, delta in taccess.items():
+                if name in tables:
+                    tables[name].access.add(delta)
         self.exchange.start_loop()
         self.exchange.accumulate_actuals(rows=len(payload["rows"]))
 

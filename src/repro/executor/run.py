@@ -55,6 +55,9 @@ def run(plan: PhysicalPlan, ctx: ExecContext) -> List[Row]:
     plan.reset_actuals()
     root = build_operator(plan, ctx)
     rows: List[Row] = []
+    activity = ctx.activity
+    if activity is not None:
+        activity.current_operator = type(plan).__name__
     try:
         root.open()
         while True:
@@ -63,6 +66,8 @@ def run(plan: PhysicalPlan, ctx: ExecContext) -> List[Row]:
                 break
             ctx.metrics.rows_emitted += len(batch)
             rows.extend(batch)
+            if activity is not None:
+                activity.rows_produced = len(rows)
     finally:
         try:
             root.close()

@@ -23,8 +23,34 @@ from .operator import Batch, Operator, operator_for
 from .partition import page_range
 
 
+class _ScanOp(Operator):
+    """Shared per-table accounting for the leaf scan family.
+
+    Scans are the only operators that touch pages on behalf of a base
+    table, so attributing buffer traffic to ``table.access`` is exact: a
+    hit/miss delta around each batch pull (leaf operators have no
+    children whose I/O could leak into the interval).  The counters are
+    always on — the cost is a handful of attribute reads per *batch* —
+    and feed ``sys_stat_tables``.
+    """
+
+    def _pull_counted(self, produce) -> Batch:
+        """Run *produce()* and charge its page traffic + rows to the
+        scanned table."""
+        bstats = self.ctx.pool.stats
+        hits0 = bstats.hits
+        misses0 = bstats.misses
+        batch = produce()
+        access = self.plan.table.access
+        access.pages_hit += bstats.hits - hits0
+        access.pages_read += bstats.misses - misses0
+        if batch:
+            access.rows_read += len(batch)
+        return batch
+
+
 @operator_for(PSeqScan)
-class SeqScanOp(Operator):
+class SeqScanOp(_ScanOp):
     """Heap scan (full, or one page-range partition) with an optional
     pushed-down predicate.
 
@@ -47,6 +73,7 @@ class SeqScanOp(Operator):
 
     def _start_scan(self) -> Iterator[Tuple[Any, ...]]:
         heap = self.plan.table.heap
+        self.plan.table.access.seq_scans += 1
         part = self.ctx.partition
         if self.plan.parallel and part is not None:
             first, last = page_range(heap.num_pages, part.worker, part.degree)
@@ -60,7 +87,7 @@ class SeqScanOp(Operator):
         metrics = self.ctx.metrics
         predicate = self.predicate
         while True:
-            batch = list(islice(self._rows, n))
+            batch = self._pull_counted(lambda: list(islice(self._rows, n)))
             if not batch:
                 return None
             metrics.rows_scanned += len(batch)
@@ -83,7 +110,7 @@ def _index_bounds(plan) -> Tuple[Any, Any, bool, bool]:
 
 
 @operator_for(PIndexScan)
-class IndexScanOp(Operator):
+class IndexScanOp(_ScanOp):
     """B+-tree range scan (or hash equality probe) fetching heap rows."""
 
     def __init__(self, plan, ctx):
@@ -100,6 +127,7 @@ class IndexScanOp(Operator):
 
     def _start(self) -> Iterator[Tuple[Any, Any]]:
         plan = self.plan
+        plan.table.access.index_scans += 1
         index = plan.index
         if index.kind is IndexKind.HASH:
             if not plan.is_equality:
@@ -127,7 +155,7 @@ class IndexScanOp(Operator):
         metrics = self.ctx.metrics
         residual = self.residual
         while True:
-            batch = list(islice(self._rows, n))
+            batch = self._pull_counted(lambda: list(islice(self._rows, n)))
             if not batch:
                 return None
             metrics.rows_scanned += len(batch)
@@ -142,7 +170,7 @@ class IndexScanOp(Operator):
 
 
 @operator_for(PIndexOnlyScan)
-class IndexOnlyScanOp(Operator):
+class IndexOnlyScanOp(_ScanOp):
     """Answer directly from index entries (key column only, no heap I/O)."""
 
     def __init__(self, plan, ctx):
@@ -157,13 +185,14 @@ class IndexOnlyScanOp(Operator):
     def _next_batch(self, max_rows=None) -> Optional[Batch]:
         if self._entries is None:
             low, high, li, hi = _index_bounds(self.plan)
+            self.plan.table.access.index_scans += 1
             self._entries = self.plan.index.structure.range_scan(
                 low, high, li, hi
             )
-        batch = [
-            (key,)
-            for key, _rid in islice(self._entries, self._target(max_rows))
-        ]
+        n = self._target(max_rows)
+        batch = self._pull_counted(
+            lambda: [(key,) for key, _rid in islice(self._entries, n)]
+        )
         if not batch:
             return None
         self.ctx.metrics.rows_scanned += len(batch)

@@ -18,8 +18,18 @@ The pieces (all engine-independent; the engine threads them through):
 * :class:`FeedbackStore` — LEO-style est-vs-actual aggregates keyed by
   (relation set, predicate fingerprint), driving opt-in estimate
   correction (``feedback``).
+* :class:`WaitEventStats` — cumulative wait-event accounting: where time
+  goes (I/O vs. lock vs. CPU vs. exchange), fed by storage/executor/
+  exchange instrumentation (``waits``).
+* :func:`register_system_tables` / :class:`ActivityRegistry` — the
+  ``sys_stat_*`` virtual tables the engine serves through its own SQL,
+  and the live-statement registry behind ``sys_stat_activity``
+  (``systables``).
+* :class:`AutoExplain` — slow-statement capture: full EXPLAIN ANALYZE
+  trees persisted to a bounded JSONL log (``autoexplain``).
 """
 
+from .autoexplain import AutoExplain, AutoExplainConfig
 from .baseline import (
     PlanBaseline,
     PlanBaselineStore,
@@ -45,9 +55,23 @@ from .metrics import (
 from .plandiff import plan_diff, plan_shape_lines, plan_shape_text
 from .querylog import QueryLog, QueryLogRecord, plan_fingerprint, q_error
 from .search import PathAlt, RegionSearch, SearchTrace, plan_shape
+from .systables import (
+    SYSTEM_TABLE_NAMES,
+    ActivityEntry,
+    ActivityRegistry,
+    register_system_tables,
+)
 from .trace import NULL_SPAN, Span, Tracer
+from .waits import WaitEventStats
 
 __all__ = [
+    "AutoExplain",
+    "AutoExplainConfig",
+    "WaitEventStats",
+    "ActivityEntry",
+    "ActivityRegistry",
+    "register_system_tables",
+    "SYSTEM_TABLE_NAMES",
     "InstrumentLevel",
     "ObsConfig",
     "Counter",

@@ -16,7 +16,10 @@ Two independent dials:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .autoexplain import AutoExplainConfig
 
 
 class InstrumentLevel(enum.IntEnum):
@@ -43,10 +46,17 @@ class ObsConfig:
     instrument: InstrumentLevel = InstrumentLevel.ROWS
     baselines: bool = True  # plan-baseline store + plan-change detection
     feedback: bool = True  # harvest est-vs-actual into the FeedbackStore
+    waits: bool = True  # wait-event accounting (I/O, lock, CPU, exchange)
+    system_tables: bool = True  # register the sys_stat_* virtual tables
+    #: slow-statement capture; disabled by default (set ``enabled=True``
+    #: or call ``Database.auto_explain.configure(enabled=True, ...)``)
+    auto_explain: Optional[AutoExplainConfig] = field(default=None)
 
     @classmethod
     def off(cls) -> "ObsConfig":
-        """Disable tracing, metrics, the query log, baselines, feedback."""
+        """Disable tracing, metrics, the query log, baselines, feedback,
+        wait accounting and auto_explain (system tables stay registered —
+        they simply report empty/zero statistics)."""
         return cls(
             trace=False,
             metrics=False,
@@ -54,4 +64,6 @@ class ObsConfig:
             instrument=InstrumentLevel.ROWS,
             baselines=False,
             feedback=False,
+            waits=False,
+            auto_explain=AutoExplainConfig(enabled=False),
         )

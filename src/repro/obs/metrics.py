@@ -18,6 +18,7 @@ and stable under heavy traffic.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Default histogram ladder (latencies in milliseconds).
@@ -26,43 +27,89 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
 )
 
+#: Exposition help text for well-known instruments; anything else gets a
+#: generated line.  Deliberately a flat table — instruments are created
+#: lazily at call sites all over the engine, and threading help strings
+#: through every call would couple those sites to the exporter.
+HELP_TEXTS: Dict[str, str] = {
+    "queries_total": "SELECT statements executed",
+    "rows_returned_total": "rows returned to clients",
+    "pages_read_total": "disk pages read on behalf of queries",
+    "pages_written_total": "disk pages written on behalf of queries",
+    "spills_total": "work-memory spill events",
+    "temp_files_total": "temporary files created by spilling operators",
+    "parallel_queries_total": "queries that ran with exchange parallelism",
+    "parallel_workers_total": "exchange workers launched",
+    "plan_changes_total": "statements whose plan differed from the baseline",
+    "plan_regressions_total": "plan changes whose estimated cost went up",
+    "slow_queries_captured_total": "statements captured by auto_explain",
+    "planning_ms": "statement planning latency",
+    "execution_ms": "statement execution latency",
+    "buffer_hit_ratio": "buffer pool hit rate since startup",
+    "buffer_pool_hits": "buffer pool page hits",
+    "buffer_pool_misses": "buffer pool page misses",
+    "buffer_pool_evictions": "buffer pool frame evictions",
+    "buffer_pool_dirty_writebacks": "dirty frames written back on eviction",
+    "buffer_pool_hit_rate": "buffer pool hit rate since startup",
+    "disk_reads": "pages read from the simulated disk",
+    "disk_writes": "pages written to the simulated disk",
+    "disk_seq_reads": "sequential page reads",
+    "disk_allocations": "pages allocated",
+    "query_log_entries": "records currently in the query log ring",
+    "feedback_entries": "cardinality-feedback keys learned",
+    "plan_baselines": "statements with a stored plan baseline",
+    "wait_events_total": "distinct wait events observed",
+}
+
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count (thread-safe)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """A value that can go up and down (last write wins)."""
+    """A value that can go up and down (last write wins; thread-safe)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class Histogram:
-    """Fixed-bucket distribution with exact count/sum/min/max."""
+    """Fixed-bucket distribution with exact count/sum/min/max.
 
-    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max")
+    ``observe`` is thread-safe: concurrent updates (metrics feeding from
+    helper threads, stress tests mirroring the forked-worker fold-in)
+    never lose counts or leave ``sum`` inconsistent with ``count``.
+    """
+
+    __slots__ = (
+        "bounds", "bucket_counts", "count", "sum", "min", "max", "_lock"
+    )
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
         bounds = tuple(sorted(float(b) for b in buckets))
@@ -74,19 +121,21 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.bucket_counts[i] += 1
-                return
-        self.bucket_counts[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    return
+            self.bucket_counts[-1] += 1
 
     @property
     def mean(self) -> float:
@@ -127,17 +176,21 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        # guards lazy instrument creation under concurrent first use
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         inst = self._counters.get(name)
         if inst is None:
-            inst = self._counters[name] = Counter()
+            with self._lock:
+                inst = self._counters.setdefault(name, Counter())
         return inst
 
     def gauge(self, name: str) -> Gauge:
         inst = self._gauges.get(name)
         if inst is None:
-            inst = self._gauges[name] = Gauge()
+            with self._lock:
+                inst = self._gauges.setdefault(name, Gauge())
         return inst
 
     def histogram(
@@ -145,9 +198,13 @@ class MetricsRegistry:
     ) -> Histogram:
         inst = self._histograms.get(name)
         if inst is None:
-            inst = self._histograms[name] = Histogram(
-                buckets if buckets is not None else DEFAULT_BUCKETS
-            )
+            with self._lock:
+                inst = self._histograms.setdefault(
+                    name,
+                    Histogram(
+                        buckets if buckets is not None else DEFAULT_BUCKETS
+                    ),
+                )
         return inst
 
     def names(self) -> List[str]:
@@ -179,39 +236,52 @@ class MetricsRegistry:
     ) -> str:
         """Prometheus text exposition of every instrument.
 
-        Counters render as ``<prefix><name>`` with a TYPE comment; gauges
-        likewise; histograms as cumulative ``_bucket{le="..."}`` series
-        ending in ``+Inf`` plus ``_sum`` and ``_count``, which is what a
-        Prometheus scraper expects.  ``extras`` (plain name→value pairs,
-        e.g. derived ratios the engine computes on demand) render as
-        gauges.
+        Each metric family renders as a ``# HELP`` line, a ``# TYPE``
+        line, then its samples — counters and gauges as one sample,
+        histograms as cumulative ``_bucket{le="..."}`` series ending in
+        ``+Inf`` plus ``_sum`` and ``_count``.  Families are emitted in
+        one global sort by metric name regardless of kind, so the
+        exposition is byte-stable across runs with the same values —
+        scrape diffing never sees spurious reorderings.  ``extras``
+        (plain name→value pairs, e.g. derived ratios the engine computes
+        at scrape time) render as gauges in the same ordering.
         """
-        lines: List[str] = []
-        for name, counter in sorted(self._counters.items()):
+        families: List[Tuple[str, str, List[str]]] = []
+
+        def fam(name: str, kind: str, samples: List[str]) -> None:
+            families.append((name, kind, samples))
+
+        for name, counter in self._counters.items():
             full = prefix + name
-            lines.append(f"# TYPE {full} counter")
-            lines.append(f"{full} {_fmt(counter.value)}")
-        gauges: List[Tuple[str, float]] = [
-            (name, g.value) for name, g in sorted(self._gauges.items())
-        ]
+            fam(name, "counter", [f"{full} {_fmt(counter.value)}"])
+        for name, gauge in self._gauges.items():
+            full = prefix + name
+            fam(name, "gauge", [f"{full} {_fmt(gauge.value)}"])
         if extras:
-            gauges.extend(sorted(extras.items()))
-        for name, value in gauges:
+            for name, value in extras.items():
+                full = prefix + name
+                fam(name, "gauge", [f"{full} {_fmt(value)}"])
+        for name, hist in self._histograms.items():
             full = prefix + name
-            lines.append(f"# TYPE {full} gauge")
-            lines.append(f"{full} {_fmt(value)}")
-        for name, hist in sorted(self._histograms.items()):
-            full = prefix + name
-            lines.append(f"# TYPE {full} histogram")
+            samples = []
             cumulative = 0
             for bound, count in zip(hist.bounds, hist.bucket_counts):
                 cumulative += count
-                lines.append(
+                samples.append(
                     f'{full}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
                 )
-            lines.append(f'{full}_bucket{{le="+Inf"}} {hist.count}')
-            lines.append(f"{full}_sum {_fmt(hist.sum)}")
-            lines.append(f"{full}_count {hist.count}")
+            samples.append(f'{full}_bucket{{le="+Inf"}} {hist.count}')
+            samples.append(f"{full}_sum {_fmt(hist.sum)}")
+            samples.append(f"{full}_count {hist.count}")
+            fam(name, "histogram", samples)
+
+        lines: List[str] = []
+        for name, kind, samples in sorted(families):
+            full = prefix + name
+            help_text = HELP_TEXTS.get(name, f"{name.replace('_', ' ')}")
+            lines.append(f"# HELP {full} {help_text}")
+            lines.append(f"# TYPE {full} {kind}")
+            lines.extend(samples)
         return "\n".join(lines) + "\n"
 
     def reset(self) -> None:

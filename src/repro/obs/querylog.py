@@ -17,7 +17,7 @@ import hashlib
 import json
 import math
 from collections import deque
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields
 from typing import Any, Deque, Dict, List, Optional
 
 
@@ -80,9 +80,23 @@ class QueryLogRecord:
     parallel_workers: int = 0
     plan_changed: bool = False  # chosen plan differs from the baseline
     baseline_cost_delta: float = 0.0  # new est_cost - baseline est_cost
+    buffer_hits: int = 0  # pages served from the buffer pool
 
     def as_dict(self) -> Dict[str, Any]:
         return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "QueryLogRecord":
+        """Inverse of :meth:`as_dict`.  Unknown keys are rejected (a
+        field added to the dataclass but missing here would silently
+        drop data — the round-trip tests enumerate ``fields()`` so any
+        serialization omission fails loudly); absent optional fields take
+        their defaults, so logs persisted by older versions still load."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown QueryLogRecord fields: {sorted(unknown)}")
+        return cls(**data)
 
 
 class QueryLog:
@@ -109,6 +123,14 @@ class QueryLog:
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.as_dicts(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str, capacity: int = 256) -> "QueryLog":
+        """Rebuild a log from :meth:`to_json` output (round-trip)."""
+        log = cls(capacity)
+        for data in json.loads(text):
+            log.record(QueryLogRecord.from_dict(data))
+        return log
 
     def worst_estimates(self, n: int = 10) -> List[QueryLogRecord]:
         """The n records with the largest cardinality q-error — where the

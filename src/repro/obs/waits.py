@@ -1,0 +1,147 @@
+"""Wait-event accounting: where does query time actually go?
+
+Industrial engines answer "is this workload CPU-bound, I/O-bound or
+lock-bound?" with a cumulative wait-event registry (PostgreSQL's
+``pg_stat_activity.wait_event``, Oracle's wait interface).  This module is
+that registry: a process-wide, thread-safe map of *event name* → (count,
+total seconds), fed by instrumentation hooks in the storage, executor and
+exchange layers:
+
+* ``io.read`` / ``io.write`` — time inside the simulated disk, attributed
+  at the buffer pool (every page read/writeback is timed once);
+* ``lock.buffer`` — contended acquisitions of the buffer pool's lock
+  (uncontended acquires are not timed, so the hot path stays cheap);
+* ``exec.cpu`` — per-query executor time *minus* the I/O and lock waits
+  that accrued during it (computed by the engine, so
+  ``exec.cpu + io.* + lock.*`` reconciles with measured execution time);
+* ``exchange.startup`` / ``exchange.send`` / ``exchange.recv`` — parallel
+  worker lifecycle: fork-to-first-work latency, pipe transfer time on the
+  worker side, and parent time blocked draining worker pipes.
+
+Workers ship their wait deltas back to the parent exactly like per-node
+actuals, so parallel queries account identically to serial ones.
+
+Event names are dotted, coarse-grained on purpose: the first segment is
+the wait *class* (``io``, ``lock``, ``exec``, ``exchange``), which is how
+``sys_stat_waits`` groups and how dashboards slice.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: snapshot form: event name -> (count, total_seconds)
+WaitSnapshot = Dict[str, Tuple[int, float]]
+
+
+class WaitEventStats:
+    """Cumulative per-event wait counters (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # event -> [count, total_seconds]; lists so record() mutates in place
+        self._events: Dict[str, List[float]] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, event: str, seconds: float, count: int = 1) -> None:
+        """Add one (or *count*) occurrences of *event* totalling *seconds*."""
+        with self._lock:
+            cell = self._events.get(event)
+            if cell is None:
+                self._events[event] = [count, seconds]
+            else:
+                cell[0] += count
+                cell[1] += seconds
+
+    @contextmanager
+    def timer(self, event: str) -> Iterator[None]:
+        """Time a block and record it as one occurrence of *event*."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(event, time.perf_counter() - start)
+
+    # -- reading -------------------------------------------------------------
+
+    def snapshot(self) -> WaitSnapshot:
+        with self._lock:
+            return {
+                event: (int(cell[0]), cell[1])
+                for event, cell in self._events.items()
+            }
+
+    def delta(self, earlier: WaitSnapshot) -> WaitSnapshot:
+        """Events accumulated since *earlier* (a prior :meth:`snapshot`)."""
+        out: WaitSnapshot = {}
+        for event, (count, seconds) in self.snapshot().items():
+            c0, s0 = earlier.get(event, (0, 0.0))
+            if count - c0 or seconds - s0:
+                out[event] = (count - c0, seconds - s0)
+        return out
+
+    def merge(self, deltas: WaitSnapshot) -> None:
+        """Fold another registry's deltas in (worker → parent shipping)."""
+        for event, (count, seconds) in deltas.items():
+            self.record(event, seconds, count)
+
+    def total_seconds(self, prefix: str = "") -> float:
+        """Summed wait time, optionally restricted to one event class
+        (``prefix="io."`` sums reads and writes)."""
+        return sum(
+            seconds
+            for event, (_, seconds) in self.snapshot().items()
+            if event.startswith(prefix)
+        )
+
+    def count(self, event: str) -> int:
+        with self._lock:
+            cell = self._events.get(event)
+            return int(cell[0]) if cell else 0
+
+    def seconds(self, event: str) -> float:
+        with self._lock:
+            cell = self._events.get(event)
+            return cell[1] if cell else 0.0
+
+    def rows(self) -> List[Tuple[str, int, float, float]]:
+        """``(event, count, total_ms, mean_ms)`` rows, sorted by event —
+        the exact shape ``sys_stat_waits`` exposes."""
+        out = []
+        for event, (count, seconds) in sorted(self.snapshot().items()):
+            total_ms = seconds * 1000.0
+            out.append(
+                (event, count, total_ms, total_ms / count if count else 0.0)
+            )
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    # -- serialization -------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {
+            event: {"count": count, "seconds": seconds}
+            for event, (count, seconds) in sorted(self.snapshot().items())
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WaitEventStats":
+        stats = cls()
+        for event, cell in json.loads(text).items():
+            stats.record(event, cell["seconds"], int(cell["count"]))
+        return stats

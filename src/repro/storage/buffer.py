@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import enum
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator, Optional
@@ -69,6 +70,35 @@ class BufferStats:
         )
 
 
+class _TimedRLock:
+    """Reentrant lock that attributes *contended* acquisitions to a wait
+    registry (``lock.buffer``).  The fast path — the lock is free or
+    already held by this thread — costs one non-blocking try, the same as
+    a plain ``with lock:``; only a genuinely blocked acquire pays two
+    clock reads.  ``waits=None`` (the default) disables timing entirely.
+    """
+
+    __slots__ = ("_lock", "waits")
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self.waits = None  # a repro.obs.WaitEventStats, attached by the engine
+
+    def __enter__(self) -> "_TimedRLock":
+        if not self._lock.acquire(blocking=False):
+            waits = self.waits
+            if waits is None:
+                self._lock.acquire()
+            else:
+                start = time.perf_counter()
+                self._lock.acquire()
+                waits.record("lock.buffer", time.perf_counter() - start)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._lock.release()
+
+
 class _Frame:
     __slots__ = ("page_id", "data", "pin_count", "dirty", "referenced")
 
@@ -101,7 +131,17 @@ class BufferPool:
         self._clock_hand = 0
         # Reentrant so internal helpers may call public methods (new_page
         # formatting paths fix/unfix while already holding the lock).
-        self._lock = threading.RLock()
+        # Contended acquisitions are timed when a wait registry is attached.
+        self._lock = _TimedRLock()
+
+    @property
+    def waits(self):
+        """The attached wait-event registry (None = wait accounting off)."""
+        return self._lock.waits
+
+    @waits.setter
+    def waits(self, registry) -> None:
+        self._lock.waits = registry
 
     # -- public protocol -----------------------------------------------------------
 
@@ -115,7 +155,14 @@ class BufferPool:
             else:
                 self.stats.misses += 1
                 self._ensure_capacity()
-                frame = _Frame(page_id, self.disk.read_page(page_id))
+                waits = self._lock.waits
+                if waits is None:
+                    data = self.disk.read_page(page_id)
+                else:
+                    start = time.perf_counter()
+                    data = self.disk.read_page(page_id)
+                    waits.record("io.read", time.perf_counter() - start)
+                frame = _Frame(page_id, data)
                 self._frames[page_id] = frame
             frame.pin_count += 1
             return frame.data
@@ -229,7 +276,13 @@ class BufferPool:
 
     def _writeback(self, frame: _Frame) -> None:
         if frame.dirty:
-            self.disk.write_page(frame.page_id, bytes(frame.data))
+            waits = self._lock.waits
+            if waits is None:
+                self.disk.write_page(frame.page_id, bytes(frame.data))
+            else:
+                start = time.perf_counter()
+                self.disk.write_page(frame.page_id, bytes(frame.data))
+                waits.record("io.write", time.perf_counter() - start)
             frame.dirty = False
             self.stats.dirty_writebacks += 1
 

@@ -308,3 +308,207 @@ class TestDatabaseObservability:
         off = _small_db(obs=ObsConfig.off())
         sql = "SELECT b FROM t WHERE a < 25 ORDER BY b"
         assert on.query(sql).rows == off.query(sql).rows
+
+
+# -- Prometheus text exposition ------------------------------------------------
+
+
+_HELP_RE = r"^# HELP repro_[a-zA-Z_][a-zA-Z0-9_]* \S.*$"
+_TYPE_RE = r"^# TYPE repro_[a-zA-Z_][a-zA-Z0-9_]* (counter|gauge|histogram)$"
+_SAMPLE_RE = (
+    r"^repro_[a-zA-Z_][a-zA-Z0-9_]*"
+    r'(\{le="[^"]+"\})?'
+    r" (\+Inf|-Inf|-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$"
+)
+
+
+def _assert_strict_prom(text):
+    """Every line is a HELP, TYPE, or sample line — nothing else."""
+    import re
+
+    assert text.endswith("\n")
+    for line in text.rstrip("\n").splitlines():
+        assert (
+            re.match(_HELP_RE, line)
+            or re.match(_TYPE_RE, line)
+            or re.match(_SAMPLE_RE, line)
+        ), f"malformed exposition line: {line!r}"
+
+
+class TestPrometheusExposition:
+    def test_every_family_has_help_and_type(self):
+        registry = MetricsRegistry()
+        registry.counter("queries_total").inc(3)
+        registry.gauge("buffer_hit_ratio").set(0.5)
+        registry.histogram("planning_ms").observe(1.0)
+        text = registry.render_prometheus()
+        for name, kind in (
+            ("queries_total", "counter"),
+            ("buffer_hit_ratio", "gauge"),
+            ("planning_ms", "histogram"),
+        ):
+            assert f"# HELP repro_{name} " in text
+            assert f"# TYPE repro_{name} {kind}\n" in text
+
+    def test_strict_line_format(self):
+        registry = MetricsRegistry()
+        registry.counter("queries_total").inc()
+        registry.histogram("execution_ms").observe(0.3)
+        registry.gauge("buffer_hit_ratio").set(0.25)
+        _assert_strict_prom(
+            registry.render_prometheus(extras={"disk_reads": 4.0})
+        )
+
+    def test_deterministic_global_ordering(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        # create instruments in different orders: output must not care
+        a.counter("zz_total").inc()
+        a.histogram("aa_ms").observe(1.0)
+        a.gauge("mm_ratio").set(0.5)
+        b.gauge("mm_ratio").set(0.5)
+        b.histogram("aa_ms").observe(1.0)
+        b.counter("zz_total").inc()
+        assert a.render_prometheus() == b.render_prometheus()
+        families = [
+            line.split()[2]
+            for line in a.render_prometheus().splitlines()
+            if line.startswith("# HELP ")
+        ]
+        assert families == sorted(families)
+
+    def test_histogram_buckets_cumulative_ending_in_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("execution_ms")
+        for value in (0.05, 0.2, 3.0, 9999.0):
+            hist.observe(value)
+        lines = registry.render_prometheus().splitlines()
+        buckets = [ln for ln in lines if "_bucket{" in ln]
+        counts = [int(ln.rsplit(" ", 1)[1]) for ln in buckets]
+        assert counts == sorted(counts)  # cumulative
+        assert buckets[-1].startswith('repro_execution_ms_bucket{le="+Inf"}')
+        assert counts[-1] == 4
+        assert "repro_execution_ms_sum" in "\n".join(lines)
+        assert "repro_execution_ms_count 4" in "\n".join(lines)
+
+    def test_database_snapshot_includes_wait_and_stat_counters(self):
+        db = _small_db()
+        db.query("SELECT b FROM t WHERE a < 10")
+        text = db.metrics_snapshot(format="prom")
+        _assert_strict_prom(text)
+        for needle in (
+            "repro_wait_exec_cpu_count",
+            "repro_wait_exec_cpu_seconds",
+            "repro_wait_events_total",
+            "repro_slow_query_captures 0",
+            "repro_buffer_pool_hits",
+            "repro_query_log_entries 1",
+        ):
+            assert needle in text, needle
+
+    def test_database_snapshot_is_byte_stable(self):
+        db = _small_db()
+        db.query("SELECT b FROM t WHERE a < 10")
+        assert db.metrics_snapshot(format="prom") == db.metrics_snapshot(
+            format="prom"
+        )
+
+
+# -- query-log record serialization -------------------------------------------
+
+
+class TestQueryLogRoundTrip:
+    def _record(self, **overrides):
+        from repro.obs import QueryLogRecord
+
+        values = dict(
+            sql="SELECT 1 FROM t",
+            fingerprint="abc123",
+            est_rows=10.0,
+            actual_rows=12,
+            q_error=1.2,
+            est_cost=42.5,
+            actual_reads=7,
+            actual_writes=1,
+            planning_ms=0.8,
+            execution_ms=3.1,
+            spills=2,
+            temp_files=3,
+            parallel_workers=4,
+            plan_changed=True,
+            baseline_cost_delta=-5.5,
+            buffer_hits=19,
+        )
+        values.update(overrides)
+        return QueryLogRecord(**values)
+
+    def test_every_dataclass_field_serializes(self):
+        from dataclasses import fields
+
+        from repro.obs import QueryLogRecord
+
+        record = self._record()
+        data = record.as_dict()
+        # a field added to the dataclass but missing from the dict would
+        # silently drop data — enumerate fields() so it fails loudly
+        assert set(data) == {f.name for f in fields(QueryLogRecord)}
+        for name in (
+            "parallel_workers", "plan_changed", "baseline_cost_delta",
+            "buffer_hits",
+        ):
+            assert name in data
+
+    def test_record_round_trips_through_dict_and_json(self):
+        from repro.obs import QueryLogRecord
+
+        record = self._record()
+        assert QueryLogRecord.from_dict(record.as_dict()) == record
+        assert (
+            QueryLogRecord.from_dict(json.loads(json.dumps(record.as_dict())))
+            == record
+        )
+
+    def test_from_dict_rejects_unknown_keys(self):
+        from repro.obs import QueryLogRecord
+
+        data = self._record().as_dict()
+        data["bogus_field"] = 1
+        with pytest.raises(ValueError, match="bogus_field"):
+            QueryLogRecord.from_dict(data)
+
+    def test_older_logs_without_new_fields_still_load(self):
+        from repro.obs import QueryLogRecord
+
+        data = self._record().as_dict()
+        # a log persisted before PR 3/5/6 lacks the newer fields
+        for name in (
+            "parallel_workers", "plan_changed", "baseline_cost_delta",
+            "buffer_hits",
+        ):
+            del data[name]
+        record = QueryLogRecord.from_dict(data)
+        assert record.parallel_workers == 0
+        assert record.plan_changed is False
+        assert record.baseline_cost_delta == 0.0
+        assert record.buffer_hits == 0
+
+    def test_query_log_round_trips_through_json(self):
+        from repro.obs import QueryLog
+
+        log = QueryLog(capacity=8)
+        log.record(self._record())
+        log.record(self._record(sql="SELECT 2 FROM t", plan_changed=False))
+        back = QueryLog.from_json(log.to_json())
+        assert back.entries() == log.entries()
+        assert back.entries()[0].parallel_workers == 4
+        assert back.entries()[0].baseline_cost_delta == -5.5
+
+    def test_database_populates_buffer_hits(self):
+        db = _small_db()
+        db.query("SELECT b FROM t WHERE a < 50")  # warms the pool
+        db.query("SELECT b FROM t WHERE a < 50")
+        entries = db.query_log.entries()
+        assert entries[-1].buffer_hits > 0
+        # and the whole live log survives a JSON round-trip
+        from repro.obs import QueryLog
+
+        assert QueryLog.from_json(db.query_log.to_json()).entries() == entries
