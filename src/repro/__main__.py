@@ -18,6 +18,8 @@ with ``;``.  Meta-commands:
   data SQL sees as ``SELECT * FROM sys_stat_waits``
 * ``\\slow [N]``     — last N auto_explain captures (default 5);
   ``\\slow on [MS]`` / ``\\slow off`` toggles capture (threshold in ms)
+* ``\\cache``        — plan/result cache sizes, hit rates and last
+  invalidation; ``\\cache on`` / ``\\cache off`` toggles both caches
 * ``\\load demo``    — load the wholesale demo schema
 * ``\\q``            — quit
 
@@ -175,6 +177,43 @@ def main(argv=None) -> int:
                         f"rows={entry['rows']}  {sql_text}"
                     )
                     print(entry["plan"])
+            elif command == "\\cache":
+                if len(parts) > 1 and parts[1] in ("on", "off"):
+                    enabled = parts[1] == "on"
+                    db.obs.plan_cache = enabled
+                    db.obs.result_cache = enabled
+                    if not enabled:
+                        db.plan_cache.invalidate("\\cache off")
+                        db.result_cache.invalidate("\\cache off")
+                    print(f"query caches {'on' if enabled else 'off'}")
+                    continue
+                for label, cache, size, on in (
+                    (
+                        "plan  ",
+                        db.plan_cache,
+                        db.obs.plan_cache_size,
+                        db.obs.plan_cache,
+                    ),
+                    (
+                        "result",
+                        db.result_cache,
+                        db.obs.result_cache_size,
+                        db.obs.result_cache,
+                    ),
+                ):
+                    s = cache.stats
+                    last = (
+                        f"  last invalidation: {s.last_invalidation}"
+                        if s.last_invalidation
+                        else ""
+                    )
+                    print(
+                        f"  {label} [{'on ' if on else 'off'}] "
+                        f"{len(cache)}/{size} entries  "
+                        f"hits={s.hits} misses={s.misses} "
+                        f"hit_rate={s.hit_rate:.1%} "
+                        f"dropped={s.invalidations}{last}"
+                    )
             elif command == "\\strategy":
                 if len(parts) > 1 and parts[1] in STRATEGIES:
                     db.set_strategy(parts[1])

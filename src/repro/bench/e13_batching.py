@@ -48,16 +48,21 @@ def _join_plan(db):
     return PHashJoin(inner, customer, col("o.cust_id"), col("c.id"))
 
 
-def _throughput(db, plan, level, batch_size, repeats):
-    """Best-of-*repeats* source rows/second (warm buffer pool)."""
+def _throughput(
+    db, plan, level, batch_size, repeats, columnar=False, cold=False
+):
+    """Best-of-*repeats* source rows/second."""
     best_rate = 0.0
     rows = None
     for _ in range(max(1, repeats)):
+        if cold:
+            db.pool.clear()
         ctx = ExecContext(
             db.pool,
             db.work_mem_pages,
             instrument=level,
             batch_size=batch_size,
+            columnar=columnar,
         )
         start = time.perf_counter()
         result = exec_run(plan, ctx)
@@ -118,4 +123,48 @@ def run(
                 *[r / 1000.0 for r in rates],
                 Ratio(rates[-1] / rates[0] if rates[0] else 0.0),
             )
-    return [table]
+    return [table, _columnar_table(db, plans, batch_sizes[-1], repeats)]
+
+
+def _columnar_table(db, plans, batch_size, repeats) -> ResultTable:
+    """E13b — the row engine vs the columnar engine, same plans, at the
+    sweep's largest batch size, cold and warm buffer pool.  Results must
+    be bit-identical across engines (the differential contract)."""
+    table = ResultTable(
+        "E13b — row vs columnar engine (source rows/sec, "
+        f"batch_size={batch_size})",
+        [
+            "pipeline",
+            "pool",
+            "row: krows/s",
+            "columnar: krows/s",
+            "speedup",
+        ],
+        notes=(
+            "best of {} runs; columnar adds vectorized page decode, "
+            "kernel predicates and the sorted-array hash-join probe; "
+            "results verified identical across engines".format(repeats)
+        ),
+    )
+    level = InstrumentLevel.ROWS
+    for name, plan in plans.items():
+        for pool_state in ("cold", "warm"):
+            cold = pool_state == "cold"
+            row_rate, row_rows = _throughput(
+                db, plan, level, batch_size, repeats, cold=cold
+            )
+            col_rate, col_rows = _throughput(
+                db, plan, level, batch_size, repeats, columnar=True, cold=cold
+            )
+            if row_rows != col_rows:
+                raise AssertionError(
+                    f"{name}: columnar results differ from the row engine"
+                )
+            table.add(
+                name,
+                pool_state,
+                row_rate / 1000.0,
+                col_rate / 1000.0,
+                Ratio(col_rate / row_rate if row_rate else 0.0),
+            )
+    return table

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..index import BPlusTree, HashIndex
-from ..storage import BufferPool, HeapFile
+from ..storage import BufferPool, HeapFile, ZoneMaps
 from ..types import Column, Schema
 from .stats import ColumnStats, HistogramKind, TableStats, analyze_column
 
@@ -73,7 +73,11 @@ class TableAccessStats:
     Maintained by the scan operators — every sequential scan start, index
     scan start, row produced and page touched on behalf of this table is
     counted here, in the parent process (parallel workers ship their
-    deltas back with the rest of their accounting).
+    deltas back with the rest of their accounting).  ``pages_skipped``
+    counts pages a columnar scan proved empty from zone maps and never
+    fixed into the buffer pool: for any one scan,
+    ``pages_hit + pages_read + pages_skipped`` equals the pages the scan
+    would otherwise have touched.
     """
 
     seq_scans: int = 0
@@ -81,25 +85,30 @@ class TableAccessStats:
     rows_read: int = 0
     pages_hit: int = 0
     pages_read: int = 0
+    pages_skipped: int = 0
 
-    def snapshot(self) -> Tuple[int, int, int, int, int]:
+    def snapshot(self) -> Tuple[int, int, int, int, int, int]:
         return (
             self.seq_scans,
             self.index_scans,
             self.rows_read,
             self.pages_hit,
             self.pages_read,
+            self.pages_skipped,
         )
 
     def add(self, delta: Sequence[int]) -> None:
-        seq, idx, rows, hits, reads = delta
+        seq, idx, rows, hits, reads, skipped = delta
         self.seq_scans += seq
         self.index_scans += idx
         self.rows_read += rows
         self.pages_hit += hits
         self.pages_read += reads
+        self.pages_skipped += skipped
 
-    def delta(self, earlier: Sequence[int]) -> Tuple[int, int, int, int, int]:
+    def delta(
+        self, earlier: Sequence[int]
+    ) -> Tuple[int, int, int, int, int, int]:
         now = self.snapshot()
         return tuple(n - e for n, e in zip(now, earlier))  # type: ignore[return-value]
 
@@ -114,6 +123,8 @@ class TableInfo:
     indexes: Dict[str, IndexInfo] = field(default_factory=dict)  # by column
     stats: Optional[TableStats] = None
     access: TableAccessStats = field(default_factory=TableAccessStats)
+    #: page-level (min, max) bounds, built by ANALYZE, widened on writes
+    zones: Optional[ZoneMaps] = None
 
     @property
     def num_rows(self) -> int:
@@ -226,6 +237,8 @@ class Catalog:
         count = 0
         for row in rows:
             rid = info.heap.insert(row)
+            if info.zones is not None:
+                info.zones.widen(rid[0], info.schema.validate_row(row))
             if info.indexes:
                 stored = info.heap.fetch(rid)
                 for index in info.indexes.values():
@@ -318,14 +331,20 @@ class Catalog:
         num_buckets: int = 32,
         num_mcvs: int = 8,
     ) -> TableStats:
-        """Scan a table once and compute statistics for every column."""
+        """Scan a table once and compute statistics for every column —
+        including fresh page-level zone maps (the scan is page-aware, so
+        the (min, max) bounds come for free)."""
         info = self.table(name)
         columns: Dict[str, List[Any]] = {c.name: [] for c in info.schema}
+        zones = ZoneMaps(len(info.schema))
         num_rows = 0
-        for row in info.heap.scan_rows():
+        for (page_no, _slot), row in info.heap.scan():
             num_rows += 1
+            zones.widen(page_no, row)
             for c, v in zip(info.schema, row):
                 columns[c.name].append(v)
+        zones._page(max(0, info.num_pages - 1))  # cover trailing empty pages
+        info.zones = zones
         stats = TableStats(num_rows=num_rows, num_pages=info.num_pages)
         for c in info.schema:
             stats.columns[c.name] = analyze_column(

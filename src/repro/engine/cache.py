@@ -1,0 +1,171 @@
+"""Inter-query caching: plan cache and result cache.
+
+Two bounded LRU caches sit in front of the optimizer:
+
+* :class:`PlanCache` — maps a statement fingerprint (the
+  ``normalize_statement`` hash) to the physical plan the optimizer chose
+  for it.  Because literals are baked into plans (the planner folds them
+  into scan bounds and pushed-down predicates), a hit additionally
+  requires the *exact* SQL text to match — the fingerprint is just the
+  bucket.  The whole cache is invalidated on any event that could change
+  what the optimizer would pick: DDL, ``ANALYZE`` (statistics), a
+  planner-options change (strategy switch), or a baseline change.
+* :class:`ResultCache` — maps exact SQL text to the rows a read-only
+  SELECT produced, together with a snapshot of each referenced table's
+  *write epoch*.  The engine bumps a table's epoch on every write to it;
+  a cached result is served only while every referenced epoch (and the
+  global DDL epoch) is unchanged, so hits are never stale.
+
+Both caches track hit/miss/invalidation counts for ``sys_stat_*`` and
+the REPL's ``\\cache`` view.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting shared by both caches."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    last_invalidation: Optional[str] = None
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _PlanEntry:
+    sql: str
+    plan: Any  # PhysicalPlan
+    options_key: str
+
+
+class PlanCache:
+    """Bounded LRU of physical plans keyed by statement fingerprint.
+
+    ``lookup``/``store`` carry an *options_key* (a stable rendering of
+    the active :class:`PlannerOptions`) so a strategy switch silently
+    invalidates every plan picked under the old options.
+    """
+
+    def __init__(self, size: int):
+        self.size = max(0, size)
+        self._entries: "OrderedDict[str, _PlanEntry]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, fingerprint: str, sql: str, options_key: str) -> Any:
+        entry = self._entries.get(fingerprint)
+        if (
+            entry is not None
+            and entry.sql == sql
+            and entry.options_key == options_key
+        ):
+            self._entries.move_to_end(fingerprint)
+            self.stats.hits += 1
+            return entry.plan
+        self.stats.misses += 1
+        return None
+
+    def store(
+        self, fingerprint: str, sql: str, options_key: str, plan: Any
+    ) -> None:
+        if self.size <= 0:
+            return
+        self._entries[fingerprint] = _PlanEntry(sql, plan, options_key)
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.size:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, reason: str) -> int:
+        """Drop every entry; returns how many were dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        if dropped:
+            self.stats.invalidations += dropped
+            self.stats.last_invalidation = reason
+        return dropped
+
+
+@dataclass
+class _ResultEntry:
+    rows: List[Tuple[Any, ...]]
+    columns: List[str]
+    plan: Any  # PhysicalPlan
+    table_epochs: Dict[str, int] = field(default_factory=dict)
+    global_epoch: int = 0
+
+
+class ResultCache:
+    """Bounded LRU of SELECT results keyed by exact SQL text.
+
+    Every entry snapshots the write epoch of each table the plan reads;
+    ``lookup`` re-checks those epochs so a write to any referenced table
+    (or any DDL, via the global epoch) makes the entry invisible.  Stale
+    entries are evicted lazily, on the lookup that notices them.
+    """
+
+    def __init__(self, size: int):
+        self.size = max(0, size)
+        self._entries: "OrderedDict[str, _ResultEntry]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(
+        self, sql: str, global_epoch: int, table_epochs: Dict[str, int]
+    ) -> Optional[_ResultEntry]:
+        entry = self._entries.get(sql)
+        if entry is not None:
+            stale = entry.global_epoch != global_epoch or any(
+                table_epochs.get(name, 0) != epoch
+                for name, epoch in entry.table_epochs.items()
+            )
+            if stale:
+                del self._entries[sql]
+                self.stats.invalidations += 1
+                self.stats.last_invalidation = "stale epoch"
+            else:
+                self._entries.move_to_end(sql)
+                self.stats.hits += 1
+                return entry
+        self.stats.misses += 1
+        return None
+
+    def store(
+        self,
+        sql: str,
+        rows: List[Tuple[Any, ...]],
+        columns: List[str],
+        plan: Any,
+        table_epochs: Dict[str, int],
+        global_epoch: int,
+    ) -> None:
+        if self.size <= 0:
+            return
+        self._entries[sql] = _ResultEntry(
+            list(rows), list(columns), plan, dict(table_epochs), global_epoch
+        )
+        self._entries.move_to_end(sql)
+        while len(self._entries) > self.size:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, reason: str) -> int:
+        dropped = len(self._entries)
+        self._entries.clear()
+        if dropped:
+            self.stats.invalidations += dropped
+            self.stats.last_invalidation = reason
+        return dropped

@@ -49,7 +49,7 @@ from ..obs import (
     statement_fingerprint,
 )
 from ..optimizer import CostModel, Planner, PlannerOptions, PlannerStats
-from ..physical import PhysicalPlan
+from ..physical import PhysicalPlan, walk_plan
 from ..sql import (
     AnalyzeStmt,
     CreateIndexStmt,
@@ -64,6 +64,7 @@ from ..sql import (
     UpdateStmt,
     parse,
 )
+from .cache import PlanCache, ResultCache
 from .views import Expansion, ViewDef, ViewExpander
 from ..storage import BufferPool, BufferStats, DiskManager, IOStats, Replacement
 from ..types import Column, Schema
@@ -108,15 +109,21 @@ class Database:
         options: Optional[PlannerOptions] = None,
         obs: Optional[ObsConfig] = None,
         batch_size: int = ExecContext.DEFAULT_BATCH_SIZE,
+        columnar: bool = False,
     ):
         self.disk = DiskManager(page_size)
         self.pool = BufferPool(self.disk, buffer_pages, replacement)
         self.catalog = Catalog(self.pool)
         self.work_mem_pages = work_mem_pages
         self.batch_size = batch_size
+        #: run queries through the columnar batch engine (ColumnBatch
+        #: flow, vectorized kernels, zone-map page skipping)
+        self.columnar = columnar
         self.options = options or PlannerOptions()
         self.model = CostModel(
-            work_mem_pages=work_mem_pages, buffer_pages=buffer_pages
+            work_mem_pages=work_mem_pages,
+            buffer_pages=buffer_pages,
+            vector_cpu_factor=0.25 if columnar else 1.0,
         )
         self.views: Dict[str, ViewDef] = {}
         self._live_transients: List[str] = []
@@ -141,8 +148,35 @@ class Database:
         self.activity = ActivityRegistry()
         #: slow-statement capture (``auto_explain``-style)
         self.auto_explain = AutoExplain(self.obs.auto_explain)
+        #: inter-query caches: physical plans keyed by statement
+        #: fingerprint, and (off by default) read-only result rows keyed
+        #: by exact SQL; see ``engine.cache``
+        self.plan_cache = PlanCache(self.obs.plan_cache_size)
+        self.result_cache = ResultCache(self.obs.result_cache_size)
+        #: per-table write counters + a global DDL/stats epoch; the
+        #: result cache snapshots these to stay invalidation-aware
+        self._write_epochs: Dict[str, int] = {}
+        self._global_epoch = 0
         if self.obs.system_tables:
             register_system_tables(self)
+
+    # -- cache invalidation ------------------------------------------------------------
+
+    def _invalidate_caches(self, reason: str) -> None:
+        """Anything that can change what the optimizer would pick — DDL,
+        new statistics, a planner-options switch — drops every cached
+        plan and result."""
+        self._global_epoch += 1
+        dropped = self.plan_cache.invalidate(reason)
+        dropped += self.result_cache.invalidate(reason)
+        if dropped and self.obs.metrics:
+            self.metrics.counter("cache_invalidations_total").inc(dropped)
+
+    def _bump_write_epoch(self, table: str) -> None:
+        """A write to *table*: cached results that read it become stale
+        (plans survive — they re-read the heap on every execution)."""
+        key = table.lower()
+        self._write_epochs[key] = self._write_epochs.get(key, 0) + 1
 
     # -- statement dispatch ------------------------------------------------------------
 
@@ -267,6 +301,7 @@ class Database:
                 Column(c.name, c.dtype, stmt.table, c.nullable)
                 for c in stmt.columns
             )
+            self._invalidate_caches("CREATE TABLE")
             self.catalog.create_table(stmt.table, schema)
             for c in stmt.columns:
                 if c.primary_key:
@@ -280,39 +315,75 @@ class Database:
             return QueryResult(rows=[], columns=[])
         if isinstance(stmt, CreateIndexStmt):
             kind = IndexKind.BTREE if stmt.using == "btree" else IndexKind.HASH
+            self._invalidate_caches("CREATE INDEX")
             self.catalog.create_index(
                 stmt.name, stmt.table, stmt.column, kind, stmt.clustered
             )
             return QueryResult(rows=[], columns=[])
         if isinstance(stmt, DropTableStmt):
+            self._invalidate_caches("DROP TABLE")
             self.catalog.drop_table(stmt.table)
             return QueryResult(rows=[], columns=[])
         if isinstance(stmt, InsertStmt):
             self._insert(stmt)
+            self._bump_write_epoch(stmt.table)
             return QueryResult(rows=[], columns=[])
         if isinstance(stmt, CreateViewStmt):
             key = stmt.name.lower()
             if self.catalog.has_table(stmt.name) or key in self.views:
                 raise EngineError(f"name {stmt.name!r} already in use")
+            self._invalidate_caches("CREATE VIEW")
             self.views[key] = ViewDef(stmt.name, stmt.select, sql)
             return QueryResult(rows=[], columns=[])
         if isinstance(stmt, DropViewStmt):
             if stmt.name.lower() not in self.views:
                 raise EngineError(f"no such view: {stmt.name}")
+            self._invalidate_caches("DROP VIEW")
             del self.views[stmt.name.lower()]
             return QueryResult(rows=[], columns=[])
         if isinstance(stmt, DeleteStmt):
             count = self._delete(stmt)
+            self._bump_write_epoch(stmt.table)
             return QueryResult(rows=[(count,)], columns=["deleted"])
         if isinstance(stmt, UpdateStmt):
             count = self._update(stmt)
+            self._bump_write_epoch(stmt.table)
             return QueryResult(rows=[(count,)], columns=["updated"])
         if isinstance(stmt, AnalyzeStmt):
+            self._invalidate_caches("ANALYZE")
             if stmt.table is None:
                 self.catalog.analyze_all()
+                analyzed = sorted(
+                    self.catalog.tables(), key=lambda info: info.name
+                )
             else:
                 self.catalog.analyze(stmt.table)
-            return QueryResult(rows=[], columns=[])
+                analyzed = [self.catalog.table(stmt.table)]
+            # one summary row per table, zone-map coverage included
+            rows = []
+            for info in analyzed:
+                zone_pages, zone_entries = (
+                    info.zones.summary() if info.zones is not None else (0, 0)
+                )
+                rows.append(
+                    (
+                        info.name,
+                        info.stats.num_rows if info.stats else 0,
+                        info.num_pages,
+                        zone_pages,
+                        zone_entries,
+                    )
+                )
+            return QueryResult(
+                rows=rows,
+                columns=[
+                    "table",
+                    "rows",
+                    "pages",
+                    "zone_pages",
+                    "zone_entries",
+                ],
+            )
         raise EngineError(f"unsupported statement {type(stmt).__name__}")
 
     def query(self, sql: str) -> QueryResult:
@@ -778,6 +849,7 @@ class Database:
             instrument=level,
             batch_size=self.batch_size,
             activity=activity,
+            columnar=self.columnar,
         )
         start = time.perf_counter()
         rows = run(physical, ctx)
@@ -806,6 +878,30 @@ class Database:
             self.last_trace = tracer.root
         return result
 
+    @staticmethod
+    def _has_subqueries(stmt: SelectStmt) -> bool:
+        from ..expr import contains_subquery
+
+        exprs = [item.expr for item in stmt.items if item.expr is not None]
+        exprs += [j.condition for j in stmt.joins if j.condition is not None]
+        exprs += list(stmt.group_by)
+        exprs += [o.expr for o in stmt.order_by]
+        if stmt.where is not None:
+            exprs.append(stmt.where)
+        if stmt.having is not None:
+            exprs.append(stmt.having)
+        return any(contains_subquery(e) for e in exprs)
+
+    @staticmethod
+    def _plan_tables(physical: PhysicalPlan) -> set:
+        """Lower-cased names of every base table the plan reads."""
+        names = set()
+        for node in walk_plan(physical):
+            table = getattr(node, "table", None)
+            if table is not None:
+                names.add(table.name.lower())
+        return names
+
     def _run_select(
         self,
         stmt: SelectStmt,
@@ -817,12 +913,71 @@ class Database:
         tracer = tracer or Tracer(enabled=False)
         start = time.perf_counter()
         before_transients = len(self._live_transients)
-        entry = self.activity.begin(sql) if sql is not None else None
-        try:
-            with tracer.span("plan"):
-                physical, pstats = self.plan_select(
-                    stmt, tracer=tracer, collect_search=collect_search
+        # Cacheable = user-issued, not EXPLAIN ANALYZE (which must show a
+        # cold plan), feedback off (feedback-corrected plans drift between
+        # executions), and no subqueries (decomposition bakes subquery
+        # *results* into the plan as literals).
+        cacheable = (
+            sql is not None
+            and not analyze
+            and not self.options.use_feedback
+            and not self._has_subqueries(stmt)
+        )
+        if cacheable and self.obs.result_cache:
+            hit = self.result_cache.lookup(
+                sql, self._global_epoch, self._write_epochs
+            )
+            if hit is not None:
+                if self.obs.metrics:
+                    self.metrics.counter("cache_result_hits_total").inc()
+                result = QueryResult(
+                    rows=list(hit.rows),
+                    columns=list(hit.columns),
+                    plan=hit.plan,
+                    planner_stats=PlannerStats(),
+                    planning_seconds=time.perf_counter() - start,
                 )
+                self._record_query(sql, hit.plan, result, result_cache_hit=True)
+                return result
+            if self.obs.metrics:
+                self.metrics.counter("cache_result_misses_total").inc()
+        cached_plan = None
+        fingerprint = options_key = None
+        if cacheable and self.obs.plan_cache:
+            fingerprint = statement_fingerprint(sql)
+            options_key = repr(self.options)
+            cached_plan = self.plan_cache.lookup(fingerprint, sql, options_key)
+            if self.obs.metrics:
+                self.metrics.counter(
+                    "cache_plan_hits_total"
+                    if cached_plan is not None
+                    else "cache_plan_misses_total"
+                ).inc()
+        plan_cache_hit = cached_plan is not None
+        entry = self.activity.begin(sql) if sql is not None else None
+        made_transients = False
+        try:
+            if cached_plan is not None:
+                physical, pstats = cached_plan, PlannerStats()
+            else:
+                with tracer.span("plan"):
+                    physical, pstats = self.plan_select(
+                        stmt, tracer=tracer, collect_search=collect_search
+                    )
+                # plans that lean on per-statement transients (materialized
+                # views, system tables) die with those transients — never
+                # cache them
+                made_transients = (
+                    len(self._live_transients) > before_transients
+                )
+                if (
+                    cacheable
+                    and self.obs.plan_cache
+                    and not made_transients
+                ):
+                    self.plan_cache.store(
+                        fingerprint, sql, options_key, physical
+                    )
             planning = time.perf_counter() - start
             if entry is not None:
                 entry.phase = "executing"
@@ -848,15 +1003,40 @@ class Database:
             )
         result.planner_stats = pstats
         result.planning_seconds = planning
-        self._record_query(sql, physical, result)
+        if (
+            cacheable
+            and self.obs.result_cache
+            and not made_transients
+            and result.rowcount <= self.obs.result_cache_max_rows
+        ):
+            tables = self._plan_tables(physical)
+            self.result_cache.store(
+                sql,
+                result.rows,
+                result.columns,
+                physical,
+                {name: self._write_epochs.get(name, 0) for name in tables},
+                self._global_epoch,
+            )
+        self._record_query(
+            sql, physical, result, plan_cache_hit=plan_cache_hit
+        )
         self._maybe_auto_explain(sql, physical, result)
         return result
 
     def _record_query(
-        self, sql: Optional[str], physical: PhysicalPlan, result: QueryResult
+        self,
+        sql: Optional[str],
+        physical: PhysicalPlan,
+        result: QueryResult,
+        plan_cache_hit: bool = False,
+        result_cache_hit: bool = False,
     ) -> None:
         """Feed one finished SELECT into the metrics registry and (for
-        user-issued statements, ``sql is not None``) the query log."""
+        user-issued statements, ``sql is not None``) the query log.
+
+        A result-cache hit never executed, so its stale plan actuals are
+        kept out of the feedback store and the baseline observer."""
         if self.obs.metrics:
             m = self.metrics
             m.counter("queries_total").inc()
@@ -873,19 +1053,22 @@ class Database:
                 m.counter("temp_files_total").inc(
                     result.exec_metrics.temp_files
                 )
+                m.counter("pages_skipped_total").inc(
+                    result.exec_metrics.pages_skipped
+                )
                 if result.exec_metrics.parallel_regions:
                     m.counter("parallel_queries_total").inc()
                     m.counter("parallel_workers_total").inc(
                         result.exec_metrics.parallel_workers
                     )
             m.gauge("buffer_hit_ratio").set(self.pool.stats.hit_rate)
-        if self.obs.feedback:
+        if self.obs.feedback and not result_cache_hit:
             self._harvest_feedback(physical)
         fingerprint = plan_fingerprint(physical)
         est_cost = physical.total_est_cost()
         plan_changed = False
         cost_delta = 0.0
-        if self.obs.baselines and sql is not None:
+        if self.obs.baselines and sql is not None and not result_cache_hit:
             change = self.baselines.observe(
                 statement_fingerprint(sql),
                 sql,
@@ -930,6 +1113,8 @@ class Database:
                     plan_changed=plan_changed,
                     baseline_cost_delta=cost_delta,
                     buffer_hits=result.buffer.hits if result.buffer else 0,
+                    plan_cache_hit=plan_cache_hit,
+                    result_cache_hit=result_cache_hit,
                 )
             )
 
@@ -1103,6 +1288,8 @@ class Database:
                 new_row[pos] = setter(row)
             new_rid = info.heap.update(rid, tuple(new_row))
             stored = info.heap.fetch(new_rid)
+            if info.zones is not None:
+                info.zones.widen(new_rid[0], stored)
             for index in info.indexes.values():
                 old_value = self._index_key_of(info, row, index)
                 new_value = self._index_key_of(info, stored, index)
@@ -1117,9 +1304,11 @@ class Database:
     # -- convenience --------------------------------------------------------------------------
 
     def insert_rows(self, table: str, rows: Sequence[Sequence[Any]]) -> int:
+        self._bump_write_epoch(table)
         return self.catalog.insert_rows(table, rows)
 
     def analyze(self, table: Optional[str] = None, **kwargs: Any) -> None:
+        self._invalidate_caches("ANALYZE")
         if table is None:
             self.catalog.analyze_all(**kwargs)
         else:
@@ -1134,4 +1323,5 @@ class Database:
 
     def set_strategy(self, strategy: str, **kwargs: Any) -> None:
         """Switch join-order strategy ('dp', 'greedy', 'naive', ...)."""
+        self._invalidate_caches("options change")
         self.options = PlannerOptions(strategy=strategy, **kwargs)

@@ -13,9 +13,11 @@ import heapq
 from itertools import islice
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from ..expr import compile_expr, compile_expr_batch
+from ..expr import ExprError, compile_expr, compile_expr_batch
+from ..expr.vector import compile_expr_columnar
 from ..physical import PAggregate, PDistinct, PSort
 from .aggregate import Accumulator, AggregateState
+from .columnar import as_row_batch, is_columnar, kernel_values
 from .operator import Batch, Row, UnaryOperator, operator_for
 from .sortutil import make_key_fn
 
@@ -67,6 +69,7 @@ class SortOp(UnaryOperator):
             batch = self.child.next_batch()
             if batch is None:
                 break
+            batch = as_row_batch(batch)
             i = 0
             while i < len(batch):
                 take = min(max_rows - len(buffer), len(batch) - i)
@@ -126,10 +129,20 @@ class AggregateOp(UnaryOperator):
     first, one state per aggregate after) and produces the real results.
     A final aggregate never compiles expressions — its child's rows are
     positional by construction.
+
+    Under a columnar context only key/argument *extraction* is
+    vectorized: group keys and aggregate arguments come from columnar
+    kernels as plain Python lists, then flow into the exact same
+    accumulator fold as the row engine.  Accumulation stays strictly
+    sequential on purpose — float ``SUM``/``AVG`` are order- and
+    association-sensitive, and bit-identical results across engines are
+    part of the differential-testing contract.
     """
 
     def __init__(self, plan, ctx):
         super().__init__(plan, ctx)
+        self.group_kernels = None
+        self.arg_kernels = None
         if plan.mode == "final":
             self.state = None
             self.group_fns = []
@@ -146,6 +159,21 @@ class AggregateOp(UnaryOperator):
                 else compile_expr_batch(agg.arg, child_schema)
                 for agg in plan.aggs
             ]
+            if ctx.columnar:
+                try:
+                    self.group_kernels = [
+                        compile_expr_columnar(g, child_schema)
+                        for g in plan.group_exprs
+                    ]
+                    self.arg_kernels = [
+                        None
+                        if agg.arg is None
+                        else compile_expr_columnar(agg.arg, child_schema)
+                        for agg in plan.aggs
+                    ]
+                except ExprError:
+                    self.group_kernels = None
+                    self.arg_kernels = None
         self._out: Optional[Iterator[Row]] = None
 
     def _open(self):
@@ -158,13 +186,30 @@ class AggregateOp(UnaryOperator):
         batch = list(islice(self._out, self._target(max_rows)))
         return batch or None
 
+    def _prepared(self, batch: Batch) -> Batch:
+        """Row view of *batch* when the columnar kernels are unusable."""
+        if is_columnar(batch) and self.group_kernels is None:
+            return batch.to_rows()
+        return batch
+
     def _group_keys(self, batch: Batch) -> List[Tuple[Any, ...]]:
-        columns = [fn(batch) for fn in self.group_fns]
+        if is_columnar(batch):
+            columns = [
+                kernel_values(*kernel(batch))
+                for kernel in self.group_kernels
+            ]
+        else:
+            columns = [fn(batch) for fn in self.group_fns]
         if len(columns) == 1:
             return [(v,) for v in columns[0]]
         return list(zip(*columns))
 
     def _arg_columns(self, batch: Batch) -> List[Optional[List[Any]]]:
+        if is_columnar(batch):
+            return [
+                None if kernel is None else kernel_values(*kernel(batch))
+                for kernel in self.arg_kernels
+            ]
         return [None if fn is None else fn(batch) for fn in self.arg_fns]
 
     def _update_accs(self, accs, arg_columns, indices) -> None:
@@ -210,7 +255,7 @@ class AggregateOp(UnaryOperator):
             batch = self.child.next_batch()
             if batch is None:
                 break
-            for row in batch:
+            for row in as_row_batch(batch):
                 key = row[:num_groups]
                 accs = groups.get(key)
                 if accs is None:
@@ -239,6 +284,7 @@ class AggregateOp(UnaryOperator):
             batch = self.child.next_batch()
             if batch is None:
                 break
+            batch = self._prepared(batch)
             arg_columns = self._arg_columns(batch)
             keys = self._group_keys(batch)
             # fold each run of equal keys in one shot (input is sorted on
@@ -268,6 +314,7 @@ class AggregateOp(UnaryOperator):
             batch = self.child.next_batch()
             if batch is None:
                 break
+            batch = self._prepared(batch)
             arg_columns = self._arg_columns(batch)
             self._update_accs(accs, arg_columns, range(len(batch)))
         yield self._finish(accs)
@@ -279,6 +326,7 @@ class AggregateOp(UnaryOperator):
             batch = self.child.next_batch()
             if batch is None:
                 break
+            batch = self._prepared(batch)
             arg_columns = self._arg_columns(batch)
             # bucket batch positions by key, then fold group by group
             buckets: Dict[Tuple[Any, ...], List[int]] = {}
@@ -317,7 +365,7 @@ class DistinctOp(UnaryOperator):
             if batch is None:
                 return None
             out = []
-            for row in batch:
+            for row in as_row_batch(batch):
                 if row not in seen:
                     seen.add(row)
                     out.append(row)

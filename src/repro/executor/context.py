@@ -34,6 +34,7 @@ class ExecMetrics:
     spills: int = 0
     parallel_regions: int = 0
     parallel_workers: int = 0
+    pages_skipped: int = 0  # heap pages pruned by zone maps, never fixed
 
     def absorb(self, other: "ExecMetrics") -> None:
         """Fold a worker's counters into this (parent) context's metrics."""
@@ -45,6 +46,7 @@ class ExecMetrics:
         self.spills += other.spills
         self.parallel_regions += other.parallel_regions
         self.parallel_workers += other.parallel_workers
+        self.pages_skipped += other.pages_skipped
 
 
 class ExecContext:
@@ -63,6 +65,7 @@ class ExecContext:
         batch_size: int = DEFAULT_BATCH_SIZE,
         partition: Optional[PartitionContext] = None,
         activity: Optional[Any] = None,
+        columnar: bool = False,
     ):
         if work_mem_pages < 3:
             raise ValueError("work memory must be at least 3 pages")
@@ -72,6 +75,10 @@ class ExecContext:
         self.work_mem_pages = work_mem_pages
         self.instrument = instrument
         self.batch_size = batch_size
+        #: vectorized execution: scans decode pages into ColumnBatch
+        #: columns (with zone-map page skipping) and migrated operators
+        #: stay columnar; unmigrated ones convert via ``as_row_batch``
+        self.columnar = columnar
         #: set only inside a parallel worker: which exchange partition this
         #: execution computes (partition-aware operators consult it)
         self.partition = partition

@@ -50,6 +50,7 @@ import traceback
 from typing import List, Optional, Tuple
 
 from ..expr import compile_expr, compile_expr_batch
+from .columnar import as_row_batch
 from ..physical import (
     PExchange,
     PGather,
@@ -96,6 +97,7 @@ class PartitionFilterOp(UnaryOperator):
                 return None
             if part is None or part.degree == 1:
                 return batch
+            batch = as_row_batch(batch)
             keys = self.key_fn(batch)
             out = [
                 row
@@ -124,7 +126,9 @@ class OrdinalOp(UnaryOperator):
             return None
         start = self._next_ord
         self._next_ord += len(batch)
-        return [row + (start + i,) for i, row in enumerate(batch)]
+        return [
+            row + (start + i,) for i, row in enumerate(as_row_batch(batch))
+        ]
 
 
 @operator_for(PExchange)
@@ -186,6 +190,7 @@ class GatherOp(Operator):
             instrument=ctx.instrument,
             batch_size=ctx.batch_size,
             partition=PartitionContext(worker, degree),
+            columnar=ctx.columnar,
         )
 
     def _drain(self, wctx: ExecContext) -> List[Row]:
@@ -199,7 +204,7 @@ class GatherOp(Operator):
                 batch = root.next_batch()
                 if batch is None:
                     break
-                rows.extend(batch)
+                rows.extend(as_row_batch(batch))
         finally:
             try:
                 root.close()
@@ -324,6 +329,7 @@ class GatherOp(Operator):
                         m.spills,
                         m.parallel_regions,
                         m.parallel_workers,
+                        m.pages_skipped,
                     ),
                     "buf": (buf.hits, buf.misses, buf.evictions, buf.dirty_writebacks),
                     "io": (io.reads, io.writes, io.seq_reads, io.allocations),

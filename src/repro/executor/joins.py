@@ -10,15 +10,24 @@ buffer pool) is unchanged from the generator engine.
 from __future__ import annotations
 
 from itertools import islice
-from typing import Any, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
-from ..expr import compile_expr, compile_expr_batch, compile_predicate_batch
+import numpy as np
+
+from ..expr import (
+    ExprError,
+    compile_expr,
+    compile_expr_batch,
+    compile_predicate_batch,
+)
+from ..expr.vector import compile_expr_columnar, compile_predicate_columnar
 from ..physical import (
     PHashJoin,
     PIndexNLJoin,
     PNestedLoopJoin,
     PSortMergeJoin,
 )
+from .columnar import ColumnBatch, as_row_batch, is_columnar, kernel_values
 from .operator import (
     Batch,
     BatchCursor,
@@ -92,6 +101,7 @@ class NestedLoopJoinOp(_BinaryJoinOp):
             batch = self.left.next_batch()
             if batch is None:
                 break
+            batch = as_row_batch(batch)
             i = 0
             while i < len(batch):
                 take = min(block_rows - len(block), len(batch) - i)
@@ -117,7 +127,7 @@ class NestedLoopJoinOp(_BinaryJoinOp):
                 inner_batch = inner.next_batch()
                 if inner_batch is None:
                     break
-                for inner_row in inner_batch:
+                for inner_row in as_row_batch(inner_batch):
                     metrics.comparisons += len(block)
                     combined = [outer + inner_row for outer in block]
                     if condition is None:
@@ -173,6 +183,7 @@ class IndexNLJoinOp(Operator):
             outer_batch = self.left.next_batch()
             if outer_batch is None:
                 return
+            outer_batch = as_row_batch(outer_batch)
             out: List[Row] = []
             for outer_row, key in zip(outer_batch, self.key_fn(outer_batch)):
                 if key is None:
@@ -264,7 +275,17 @@ class SortMergeJoinOp(_BinaryJoinOp):
 @operator_for(PHashJoin)
 class HashJoinOp(_BinaryJoinOp):
     """Hash join building on the right input; Grace-partitions through
-    temp files when the build side exceeds work memory."""
+    temp files when the build side exceeds work memory.
+
+    Under a columnar context the in-memory path stays columnar end to
+    end: the build side is concatenated into one :class:`ColumnBatch`,
+    keys come from vectorized kernels, each probe batch produces matched
+    ``(probe, build)`` position lists, and the output batch is two
+    ``numpy.take`` gathers — no row tuples are ever materialized.  The
+    Grace spill path (and any expression shape without a kernel) falls
+    back to the row engine, emitting row batches downstream operators
+    accept via ``as_row_batch``.
+    """
 
     def __init__(self, plan, ctx):
         super().__init__(plan, ctx)
@@ -275,6 +296,180 @@ class HashJoinOp(_BinaryJoinOp):
             if plan.residual is not None
             else None
         )
+        self._columnar = False
+        self._pending: Optional[ColumnBatch] = None
+        self._col_gen: Optional[Iterator[ColumnBatch]] = None
+        if ctx.columnar:
+            try:
+                self.left_key_col = compile_expr_columnar(
+                    plan.left_key, plan.left.schema
+                )
+                self.right_key_col = compile_expr_columnar(
+                    plan.right_key, plan.right.schema
+                )
+                self.residual_col = (
+                    compile_predicate_columnar(plan.residual, plan.schema)
+                    if plan.residual is not None
+                    else None
+                )
+                self._columnar = True
+            except ExprError:
+                pass  # no kernel for the keys/residual: row path
+
+    def _open(self):
+        super()._open()
+        self._pending = None
+        self._col_gen: Optional[Iterator[ColumnBatch]] = None
+
+    def _next_batch(self, max_rows=None) -> Optional[Batch]:
+        if not self._columnar:
+            return super()._next_batch(max_rows)
+        n = self._target(max_rows)
+        while True:
+            pending = self._pending
+            if pending is not None:
+                if len(pending) > n:
+                    self._pending = pending.slice(n, len(pending))
+                    return pending.slice(0, n)
+                self._pending = None
+                return pending
+            if self._col_gen is None:
+                self._col_gen = self._join_columnar()
+            batch = next(self._col_gen, None)
+            if batch is None:
+                return None
+            self._pending = batch
+
+    def _close(self):
+        self._pending = None
+        self._col_gen = None
+        super()._close()
+
+    # -- columnar path ------------------------------------------------------
+
+    def _join_columnar(self) -> Iterator[ColumnBatch]:
+        plan = self.plan
+        ctx = self.ctx
+        build_schema = plan.right.schema
+        max_build = ctx.max_rows_in_memory(build_schema)
+
+        built: List[ColumnBatch] = []
+        total = 0
+        overflow = False
+        while True:
+            batch = self.right.next_batch()
+            if batch is None:
+                break
+            if not is_columnar(batch):
+                batch = ColumnBatch.from_rows(build_schema, batch)
+            built.append(batch)
+            total += len(batch)
+            if total > max_build:
+                overflow = True
+                break
+
+        if overflow:
+            # Grace stays row-wise; re-batch its stream so the caller's
+            # pending-buffer protocol sees ColumnBatches throughout
+            build_rows = [r for b in built for r in b.to_rows()]
+            gen = self._grace(build_rows)
+            while True:
+                chunk = list(islice(gen, ctx.batch_size))
+                if not chunk:
+                    return
+                yield ColumnBatch.from_rows(plan.schema, chunk)
+
+        build = (
+            ColumnBatch.concat(built)
+            if built
+            else ColumnBatch.from_rows(build_schema, [])
+        )
+        bkeys, bvalid = self.right_key_col(build)
+        # Sorted-key probe: non-NULL (and non-NaN — NaN never equals
+        # anything) build positions ordered by key, stably, so equal-key
+        # runs stay in insertion order exactly like dict buckets.
+        sorted_keys = sorted_pos = None
+        if bkeys.dtype != object:
+            keep = (
+                np.ones(len(build), dtype=bool)
+                if bvalid is None
+                else bvalid.copy()
+            )
+            if bkeys.dtype.kind == "f":
+                keep &= ~np.isnan(bkeys)
+            pos = np.flatnonzero(keep)
+            order = np.argsort(bkeys[pos], kind="stable")
+            sorted_pos = pos[order]
+            sorted_keys = bkeys[sorted_pos]
+        positions: Optional[Dict[Any, List[int]]] = None  # dict fallback
+
+        metrics = self.ctx.metrics
+        out_schema = plan.schema
+        while True:
+            probe = self.left.next_batch()
+            if probe is None:
+                return
+            if not is_columnar(probe):
+                probe = ColumnBatch.from_rows(plan.left.schema, probe)
+            pkeys, pvalid = self.left_key_col(probe)
+            n = len(probe)
+            if sorted_keys is not None and pkeys.dtype == sorted_keys.dtype:
+                # the row engine probes once per non-None key (NaN is a
+                # probe that finds nothing)
+                metrics.hash_probes += (
+                    n if pvalid is None else int(np.count_nonzero(pvalid))
+                )
+                lo = np.searchsorted(sorted_keys, pkeys, side="left")
+                hi = np.searchsorted(sorted_keys, pkeys, side="right")
+                counts = hi - lo
+                if pvalid is not None:
+                    counts[~pvalid] = 0
+                if pkeys.dtype.kind == "f":
+                    counts[np.isnan(pkeys)] = 0
+                total = int(counts.sum())
+                if total == 0:
+                    continue
+                probe_take = np.repeat(np.arange(n, dtype=np.intp), counts)
+                span = np.arange(total, dtype=np.intp) - np.repeat(
+                    np.cumsum(counts) - counts, counts
+                )
+                build_take = sorted_pos[np.repeat(lo, counts) + span]
+            else:
+                if positions is None:
+                    positions = {}
+                    for j, key in enumerate(
+                        kernel_values(bkeys, bvalid)
+                    ):
+                        if key is None:
+                            continue
+                        positions.setdefault(key, []).append(j)
+                probe_idx: List[int] = []
+                build_idx: List[int] = []
+                for i, key in enumerate(kernel_values(pkeys, pvalid)):
+                    if key is None:
+                        continue
+                    metrics.hash_probes += 1
+                    for j in positions.get(key, ()):
+                        probe_idx.append(i)
+                        build_idx.append(j)
+                if not probe_idx:
+                    continue
+                probe_take = np.asarray(probe_idx, dtype=np.intp)
+                build_take = np.asarray(build_idx, dtype=np.intp)
+            left_out = probe.take(probe_take)
+            right_out = build.take(build_take)
+            out = ColumnBatch(
+                out_schema,
+                left_out.columns + right_out.columns,
+                len(probe_take),
+            )
+            if self.residual_col is not None:
+                out = out.filter(self.residual_col(out))
+                if not out:
+                    continue
+            yield out
+
+    # -- row path -----------------------------------------------------------
 
     def _join_rows(self) -> Iterator[Row]:
         plan = self.plan
@@ -288,7 +483,7 @@ class HashJoinOp(_BinaryJoinOp):
             batch = self.right.next_batch()
             if batch is None:
                 break
-            build_rows.extend(batch)
+            build_rows.extend(as_row_batch(batch))
             if len(build_rows) > max_build:
                 overflow = True
                 break
@@ -310,6 +505,7 @@ class HashJoinOp(_BinaryJoinOp):
             probe = self.left.next_batch()
             if probe is None:
                 return
+            probe = as_row_batch(probe)
             out: List[Row] = []
             for lrow, key in zip(probe, self.left_key(probe)):
                 if key is None:
@@ -336,6 +532,7 @@ class HashJoinOp(_BinaryJoinOp):
             batch = self.right.next_batch()
             if batch is None:
                 break
+            batch = as_row_batch(batch)
             for row, key in zip(batch, self.right_key(batch)):
                 _partition_insert(right_parts, key, row, fanout)
         left_parts = [ctx.create_temp(plan.left.schema) for _ in range(fanout)]
@@ -343,6 +540,7 @@ class HashJoinOp(_BinaryJoinOp):
             batch = self.left.next_batch()
             if batch is None:
                 break
+            batch = as_row_batch(batch)
             for row, key in zip(batch, self.left_key(batch)):
                 _partition_insert(left_parts, key, row, fanout)
         metrics.spills += 1

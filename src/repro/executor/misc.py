@@ -4,14 +4,22 @@ These are the batch engine's cheapest operators — each call transforms
 one child batch with a single vectorized expression evaluation (or plain
 slicing), so their per-row overhead is a list comprehension step rather
 than a generator frame.
+
+Filter, project, narrow and limit are fully columnar-aware: when the
+child hands them a :class:`ColumnBatch` they stay columnar (mask filter,
+kernel evaluation, column selection, slicing) and pass columns through
+untouched, so a scan→filter→project pipeline never materializes row
+tuples.  Materialize converts to rows (its cache is row storage).
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
-from ..expr import compile_expr_batch, compile_predicate_batch
+from ..expr import ExprError, compile_expr_batch, compile_predicate_batch
+from ..expr.vector import compile_expr_columnar, compile_predicate_columnar
 from ..physical import PFilter, PLimit, PMaterialize, PNarrow, PProject
+from .columnar import ColumnBatch, as_row_batch, is_columnar
 from .operator import Batch, Row, UnaryOperator, operator_for
 
 
@@ -22,6 +30,14 @@ class FilterOp(UnaryOperator):
         self.predicate = compile_predicate_batch(
             plan.predicate, plan.child.schema
         )
+        self.predicate_columnar = None
+        if ctx.columnar:
+            try:
+                self.predicate_columnar = compile_predicate_columnar(
+                    plan.predicate, plan.child.schema
+                )
+            except ExprError:
+                pass  # no kernel for this shape: row path below
 
     def _next_batch(self, max_rows=None) -> Optional[Batch]:
         predicate = self.predicate
@@ -29,6 +45,13 @@ class FilterOp(UnaryOperator):
             batch = self.child.next_batch(max_rows)
             if batch is None:
                 return None
+            if is_columnar(batch):
+                if self.predicate_columnar is not None:
+                    out = batch.filter(self.predicate_columnar(batch))
+                    if out:
+                        return out
+                    continue
+                batch = as_row_batch(batch)
             mask = predicate(batch)
             out = [row for row, keep in zip(batch, mask) if keep]
             if out:
@@ -42,11 +65,29 @@ class ProjectOp(UnaryOperator):
         self.fns = [
             compile_expr_batch(e, plan.child.schema) for e in plan.exprs
         ]
+        self.kernels = None
+        if ctx.columnar:
+            try:
+                self.kernels = [
+                    compile_expr_columnar(e, plan.child.schema)
+                    for e in plan.exprs
+                ]
+            except ExprError:
+                pass  # no kernel for this shape: row path below
 
     def _next_batch(self, max_rows=None) -> Optional[Batch]:
         batch = self.child.next_batch(max_rows)
         if batch is None:
             return None
+        if is_columnar(batch):
+            if self.kernels is None:
+                batch = as_row_batch(batch)
+            else:
+                return ColumnBatch(
+                    self.plan.schema,
+                    [kernel(batch) for kernel in self.kernels],
+                    len(batch),
+                )
         columns = [fn(batch) for fn in self.fns]
         if len(columns) == 1:
             return [(v,) for v in columns[0]]
@@ -60,6 +101,12 @@ class NarrowOp(UnaryOperator):
         if batch is None:
             return None
         positions = self.plan.positions
+        if is_columnar(batch):
+            return ColumnBatch(
+                self.plan.schema,
+                [batch.columns[i] for i in positions],
+                len(batch),
+            )
         if len(positions) == 1:
             i = positions[0]
             return [(row[i],) for row in batch]
@@ -88,7 +135,11 @@ class LimitOp(UnaryOperator):
         if batch is None:
             return None
         if len(batch) > self._remaining:
-            batch = batch[: self._remaining]
+            batch = (
+                batch.slice(0, self._remaining)
+                if is_columnar(batch)
+                else batch[: self._remaining]
+            )
         self._remaining -= len(batch)
         return batch
 
@@ -122,7 +173,7 @@ class MaterializeOp(UnaryOperator):
                 batch = self.child.next_batch()
                 if batch is None:
                     break
-                cache.extend(batch)
+                cache.extend(as_row_batch(batch))
             self._cache = cache
             self.child.close()
             self._child_open = False

@@ -36,6 +36,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from ..obs import InstrumentLevel
 from ..physical import PhysicalError, PhysicalPlan
+from .columnar import as_row_batch
 from .context import ExecContext
 
 Row = Tuple[Any, ...]
@@ -156,7 +157,7 @@ class Operator:
             batch = self.next_batch()
             if batch is None:
                 return
-            yield from batch
+            yield from as_row_batch(batch)
 
 
 class UnaryOperator(Operator):
@@ -193,7 +194,7 @@ class BatchCursor:
             batch = self.op.next_batch()
             if batch is None:
                 return None
-            self._batch = batch
+            self._batch = as_row_batch(batch)
             self._pos = 0
         row = self._batch[self._pos]
         self._pos += 1

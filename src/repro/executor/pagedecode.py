@@ -1,0 +1,126 @@
+"""Vectorized page decode: slotted-page bytes straight to column arrays.
+
+The row engine decodes a page record-by-record (``SlottedPage.records``
+then ``deserialize_row``), materializing one Python tuple per row.  The
+columnar scan instead parses the slot directories with numpy, checks
+every record's null bitmap in one shot, and gathers each fixed-width
+column with a single fancy-index per column — no per-row Python objects
+until an operator actually asks for rows.
+
+Decoding works on a *span* of pages at once: the per-column numpy-call
+overhead (a handful of microseconds each) is paid once per span instead
+of once per page, which matters because a 4 KB page holds only a few
+dozen records.
+
+The decoder is deliberately partial: any span holding a record with a
+NULL column (non-zero null bitmap), or whose structure does not match
+the schema exactly, returns ``None`` and the caller falls back to
+per-page (and ultimately per-record) decoding.  Decoded values are
+bit-identical to the row path: the byte format (see ``storage.record``)
+is the single source of truth for both.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..storage.page import HEADER_SIZE, TOMBSTONE
+from ..types import DataType, Schema
+from .columnar import ColumnData
+
+#: fixed-width columns: byte width, big-endian view dtype, native dtype
+_FIXED = {
+    DataType.INT: (8, ">i8", np.int64),
+    DataType.FLOAT: (8, ">f8", np.float64),
+}
+
+
+def decode_pages_columns(
+    schema: Schema, raws: Sequence[bytes]
+) -> Optional[Tuple[List[ColumnData], int]]:
+    """Decode a span of pages into ``(columns, num_rows)``, or ``None``
+    to make the caller fall back to per-page decoding (NULLs present, or
+    the bytes do not line up with *schema*).  Record order is page order
+    then slot order — exactly the row scan's order."""
+    offs_parts: List[np.ndarray] = []
+    lens_parts: List[np.ndarray] = []
+    base = 0
+    for raw in raws:
+        num_slots = (raw[0] << 8) | raw[1]
+        if num_slots:
+            slots = np.frombuffer(
+                raw, dtype=">u2", count=num_slots * 2, offset=HEADER_SIZE
+            ).reshape(-1, 2)
+            live = slots[:, 1] != TOMBSTONE
+            if live.all():
+                offs_parts.append(slots[:, 0].astype(np.int64) + base)
+                lens_parts.append(slots[:, 1].astype(np.int64))
+            elif live.any():
+                offs_parts.append(slots[:, 0][live].astype(np.int64) + base)
+                lens_parts.append(slots[:, 1][live].astype(np.int64))
+        base += len(raw)
+    if not offs_parts:
+        return [], 0
+    joined = raws[0] if len(raws) == 1 else b"".join(raws)
+    buf = np.frombuffer(joined, dtype=np.uint8)
+    offs = (
+        offs_parts[0] if len(offs_parts) == 1 else np.concatenate(offs_parts)
+    )
+    lens = (
+        lens_parts[0] if len(lens_parts) == 1 else np.concatenate(lens_parts)
+    )
+    n = int(offs.shape[0])
+    ncols = len(schema)
+    bitmap_len = (ncols + 7) // 8
+    if bool(buf[offs[:, None] + np.arange(bitmap_len)].any()):
+        return None  # some record has NULL columns: caller falls back
+    cur = offs + bitmap_len
+    columns: List[ColumnData] = []
+    for col in schema:
+        dtype = col.dtype
+        if dtype is DataType.TEXT:
+            text_lens = (buf[cur].astype(np.int64) << 8) | buf[cur + 1]
+            starts = cur + 2
+            ends = starts + text_lens
+            values = [
+                joined[s:e].decode("utf-8")
+                for s, e in zip(starts.tolist(), ends.tolist())
+            ]
+            data = np.empty(n, dtype=object)
+            data[:] = values
+            cur = ends
+        elif dtype is DataType.BOOL:
+            data = buf[cur] != 0
+            cur = cur + 1
+        elif dtype is DataType.DATE:
+            ordinals = (
+                np.ascontiguousarray(buf[cur[:, None] + np.arange(4)])
+                .view(">u4")
+                .ravel()
+            )
+            data = np.empty(n, dtype=object)
+            data[:] = [date.fromordinal(o) for o in ordinals.tolist()]
+            cur = cur + 4
+        else:
+            width, view, native = _FIXED[dtype]
+            data = (
+                np.ascontiguousarray(buf[cur[:, None] + np.arange(width)])
+                .view(view)
+                .ravel()
+                .astype(native)
+            )
+            cur = cur + width
+        columns.append((data, None))
+    if not np.array_equal(cur, offs + lens):
+        return None  # structural mismatch: let the row decoder diagnose
+    return columns, n
+
+
+def decode_page_columns(
+    schema: Schema, raw: bytes
+) -> Optional[Tuple[List[ColumnData], int]]:
+    """Single-page decode (the span decoder over one page)."""
+    return decode_pages_columns(schema, (raw,))

@@ -24,6 +24,7 @@ from typing import Any, Iterator, List, Tuple
 
 # importing the operator families populates the plan-type registry
 from . import agg_sort, exchange, joins, misc, scans  # noqa: F401
+from .columnar import as_row_batch
 from .context import ExecContext
 from .operator import Operator, build_operator
 from ..physical import PhysicalPlan
@@ -45,7 +46,7 @@ def _stream(root: Operator, ctx: ExecContext) -> Iterator[Row]:
             if batch is None:
                 break
             ctx.metrics.rows_emitted += len(batch)
-            yield from batch
+            yield from as_row_batch(batch)
     finally:
         root.close()
 
@@ -65,7 +66,7 @@ def run(plan: PhysicalPlan, ctx: ExecContext) -> List[Row]:
             if batch is None:
                 break
             ctx.metrics.rows_emitted += len(batch)
-            rows.extend(batch)
+            rows.extend(as_row_batch(batch))
             if activity is not None:
                 activity.rows_produced = len(rows)
     finally:

@@ -13,13 +13,17 @@ from typing import Any, Iterator, Optional, Tuple
 
 from ..catalog import IndexKind
 from ..expr import compile_predicate_batch
+from ..expr.vector import compile_predicate_columnar
 from ..physical import (
     PIndexOnlyScan,
     PIndexScan,
     PSeqScan,
     PhysicalError,
 )
+from ..storage import SlottedPage, deserialize_row, page_skipper
+from .columnar import ColumnBatch
 from .operator import Batch, Operator, operator_for
+from .pagedecode import decode_page_columns, decode_pages_columns
 from .partition import page_range
 
 
@@ -57,30 +61,55 @@ class SeqScanOp(_ScanOp):
     A scan marked ``parallel`` running inside a worker (the context
     carries a partition) reads only its contiguous page slice; anywhere
     else it degrades to a plain full scan.
+
+    Under a columnar context (``ctx.columnar``) the scan decodes whole
+    pages straight into :class:`ColumnBatch` columns (per-record row
+    decode only as a NULL fallback), evaluates the pushed-down predicate
+    as a vectorized kernel, and — when the table has zone maps — skips
+    pages whose (min, max) bounds prove no row can match, before the
+    page is ever fixed into the buffer pool.
     """
 
     def __init__(self, plan, ctx):
         super().__init__(plan, ctx)
         self.predicate = (
             compile_predicate_batch(plan.predicate, plan.schema)
-            if plan.predicate is not None
+            if plan.predicate is not None and not ctx.columnar
+            else None
+        )
+        self.predicate_columnar = (
+            compile_predicate_columnar(plan.predicate, plan.schema)
+            if plan.predicate is not None and ctx.columnar
             else None
         )
         self._rows: Optional[Iterator[Tuple[Any, ...]]] = None
+        self._pages: Optional[Iterator[int]] = None
+        self._parts: list = []
+        self._buffered = 0
+        self._skip = None
 
     def _open(self):
         self._rows = None  # created lazily so the first page read is timed
+        self._pages = None
+        self._parts = []
+        self._buffered = 0
+        self._skip = None
 
-    def _start_scan(self) -> Iterator[Tuple[Any, ...]]:
+    def _page_span(self) -> Tuple[int, int]:
         heap = self.plan.table.heap
-        self.plan.table.access.seq_scans += 1
         part = self.ctx.partition
         if self.plan.parallel and part is not None:
-            first, last = page_range(heap.num_pages, part.worker, part.degree)
-            return heap.scan_rows(first, last)
-        return heap.scan_rows()
+            return page_range(heap.num_pages, part.worker, part.degree)
+        return 0, heap.num_pages
+
+    def _start_scan(self) -> Iterator[Tuple[Any, ...]]:
+        self.plan.table.access.seq_scans += 1
+        first, last = self._page_span()
+        return self.plan.table.heap.scan_rows(first, last)
 
     def _next_batch(self, max_rows=None) -> Optional[Batch]:
+        if self.ctx.columnar:
+            return self._next_batch_columnar(max_rows)
         if self._rows is None:
             self._rows = self._start_scan()
         n = self._target(max_rows)
@@ -101,6 +130,106 @@ class SeqScanOp(_ScanOp):
 
     def _close(self):
         self._rows = None
+        self._pages = None
+        self._parts = []
+        self._buffered = 0
+
+    # -- columnar path ------------------------------------------------------
+
+    def _start_pages(self) -> Iterator[int]:
+        plan = self.plan
+        plan.table.access.seq_scans += 1
+        if plan.table.zones is not None and plan.predicate is not None:
+            self._skip = page_skipper(
+                plan.predicate, plan.schema, plan.table.zones
+            )
+        # pages per decode span: enough to fill one target batch, bounded
+        # so a span never holds more than a modest slice of the file
+        page_size = self.plan.table.heap.pool.disk.page_size
+        est_rows = max(1, page_size // plan.schema.estimated_row_bytes())
+        self._span = max(1, min(64, -(-self.ctx.batch_size // est_rows)))
+        first, last = self._page_span()
+        return iter(range(first, last))
+
+    def _decode_next_span(self) -> Optional[ColumnBatch]:
+        """The next span of non-skipped pages as one ColumnBatch."""
+        plan = self.plan
+        heap = plan.table.heap
+        schema = plan.schema
+        skip = self._skip
+        while True:
+            raws: list = []
+            for page_no in self._pages:
+                if skip is not None and skip(page_no):
+                    plan.table.access.pages_skipped += 1
+                    self.ctx.metrics.pages_skipped += 1
+                    continue
+                raws.append(heap.page_bytes(page_no))
+                if len(raws) >= self._span:
+                    break
+            if not raws:
+                return None
+            decoded = decode_pages_columns(schema, raws)
+            if decoded is not None:
+                columns, count = decoded
+                if count == 0:
+                    continue
+                return ColumnBatch(schema, columns, count)
+            # NULLs somewhere in the span: decode page by page, dropping
+            # to the per-record row decoder only where needed
+            parts: list = []
+            for raw in raws:
+                single = decode_page_columns(schema, raw)
+                if single is None:
+                    rows = [
+                        deserialize_row(schema, rec)
+                        for _, rec in SlottedPage(raw).records()
+                    ]
+                    if rows:
+                        parts.append(ColumnBatch.from_rows(schema, rows))
+                else:
+                    columns, count = single
+                    if count:
+                        parts.append(ColumnBatch(schema, columns, count))
+            if not parts:
+                continue
+            if len(parts) == 1:
+                return parts[0]
+            return ColumnBatch.concat(parts)
+
+    def _next_batch_columnar(self, max_rows=None) -> Optional[ColumnBatch]:
+        if self._pages is None:
+            self._pages = self._start_pages()
+        n = self._target(max_rows)
+        metrics = self.ctx.metrics
+        predicate = self.predicate_columnar
+        # accumulate decoded (and filtered) pages up to the target size,
+        # so downstream operators see full-size batches, not page-size
+        # slivers; the tail past the target carries over to the next call
+        parts = self._parts
+        buffered = self._buffered
+        while buffered < n:
+            batch = self._pull_counted(self._decode_next_span)
+            if batch is None:
+                break
+            metrics.rows_scanned += len(batch)
+            if predicate is not None:
+                batch = batch.filter(predicate(batch))
+                if not batch:
+                    continue
+            parts.append(batch)
+            buffered += len(batch)
+        if not parts:
+            self._buffered = 0
+            return None
+        combined = ColumnBatch.concat(parts) if len(parts) > 1 else parts[0]
+        if buffered > n:
+            self._parts = [combined.slice(n, buffered)]
+            self._buffered = buffered - n
+            return combined.slice(0, n)
+        self._parts = []
+        self._buffered = 0
+        return combined
 
 
 def _index_bounds(plan) -> Tuple[Any, Any, bool, bool]:

@@ -48,6 +48,15 @@ class ObsConfig:
     feedback: bool = True  # harvest est-vs-actual into the FeedbackStore
     waits: bool = True  # wait-event accounting (I/O, lock, CPU, exchange)
     system_tables: bool = True  # register the sys_stat_* virtual tables
+    #: inter-query plan cache (normalize_statement-keyed physical plans);
+    #: EXPLAIN ANALYZE always bypasses it so actuals reflect a cold plan
+    plan_cache: bool = True
+    plan_cache_size: int = 128
+    #: invalidation-aware result cache for read-only statements; off by
+    #: default (turning it on trades staleness tracking for latency)
+    result_cache: bool = False
+    result_cache_size: int = 64
+    result_cache_max_rows: int = 10_000
     #: slow-statement capture; disabled by default (set ``enabled=True``
     #: or call ``Database.auto_explain.configure(enabled=True, ...)``)
     auto_explain: Optional[AutoExplainConfig] = field(default=None)
@@ -55,8 +64,9 @@ class ObsConfig:
     @classmethod
     def off(cls) -> "ObsConfig":
         """Disable tracing, metrics, the query log, baselines, feedback,
-        wait accounting and auto_explain (system tables stay registered —
-        they simply report empty/zero statistics)."""
+        wait accounting, auto_explain and both query caches (system
+        tables stay registered — they simply report empty/zero
+        statistics)."""
         return cls(
             trace=False,
             metrics=False,
@@ -66,4 +76,6 @@ class ObsConfig:
             feedback=False,
             waits=False,
             auto_explain=AutoExplainConfig(enabled=False),
+            plan_cache=False,
+            result_cache=False,
         )

@@ -43,6 +43,12 @@ HELP_TEXTS: Dict[str, str] = {
     "plan_changes_total": "statements whose plan differed from the baseline",
     "plan_regressions_total": "plan changes whose estimated cost went up",
     "slow_queries_captured_total": "statements captured by auto_explain",
+    "cache_plan_hits_total": "statements planned from the plan cache",
+    "cache_plan_misses_total": "cacheable statements that missed the plan cache",
+    "cache_result_hits_total": "statements answered from the result cache",
+    "cache_result_misses_total": "cacheable statements that missed the result cache",
+    "cache_invalidations_total": "plan/result cache invalidation events",
+    "pages_skipped_total": "heap pages skipped by zone-map pruning",
     "planning_ms": "statement planning latency",
     "execution_ms": "statement execution latency",
     "buffer_hit_ratio": "buffer pool hit rate since startup",

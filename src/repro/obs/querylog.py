@@ -81,6 +81,8 @@ class QueryLogRecord:
     plan_changed: bool = False  # chosen plan differs from the baseline
     baseline_cost_delta: float = 0.0  # new est_cost - baseline est_cost
     buffer_hits: int = 0  # pages served from the buffer pool
+    plan_cache_hit: bool = False  # physical plan reused from the plan cache
+    result_cache_hit: bool = False  # rows served from the result cache
 
     def as_dict(self) -> Dict[str, Any]:
         return asdict(self)

@@ -133,23 +133,34 @@ def _stat_statements(db: "Database") -> Tuple[Schema, Rows]:
         ("pages_read", DataType.INT),
         ("pages_written", DataType.INT),
         ("plan_changes", DataType.INT),
+        ("plan_cache_hits", DataType.INT),
+        ("result_cache_hits", DataType.INT),
     )
     groups: Dict[str, List[Any]] = {}
     for record in db.query_log.entries():
         statement = normalize_statement(record.sql)
         group = groups.get(statement)
         if group is None:
-            group = groups[statement] = [[], 0, 0, 0, 0, 0]
+            group = groups[statement] = [[], 0, 0, 0, 0, 0, 0, 0]
         group[0].append(record.execution_ms)
         group[1] += record.actual_rows
         group[2] += record.buffer_hits
         group[3] += record.actual_reads
         group[4] += record.actual_writes
         group[5] += 1 if record.plan_changed else 0
+        group[6] += 1 if record.plan_cache_hit else 0
+        group[7] += 1 if record.result_cache_hit else 0
     rows: Rows = []
-    for statement, (times, nrows, hits, reads, writes, changes) in sorted(
-        groups.items()
-    ):
+    for statement, (
+        times,
+        nrows,
+        hits,
+        reads,
+        writes,
+        changes,
+        plan_hits,
+        result_hits,
+    ) in sorted(groups.items()):
         total = sum(times)
         rows.append(
             (
@@ -163,6 +174,8 @@ def _stat_statements(db: "Database") -> Tuple[Schema, Rows]:
                 reads,
                 writes,
                 changes,
+                plan_hits,
+                result_hits,
             )
         )
     return schema, rows
@@ -179,6 +192,7 @@ def _stat_tables(db: "Database") -> Tuple[Schema, Rows]:
         ("rows_read", DataType.INT),
         ("pages_hit", DataType.INT),
         ("pages_read", DataType.INT),
+        ("pages_skipped", DataType.INT),
     )
     rows: Rows = []
     for info in sorted(db.catalog.tables(), key=lambda t: t.name):
@@ -199,6 +213,7 @@ def _stat_tables(db: "Database") -> Tuple[Schema, Rows]:
                 access.rows_read,
                 access.pages_hit,
                 access.pages_read,
+                access.pages_skipped,
             )
         )
     return schema, rows

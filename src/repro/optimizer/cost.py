@@ -78,11 +78,19 @@ class CostModel:
         buffer_pages: Optional[int] = None,
         parallel_setup_cpu: float = 10_000.0,
         parallel_transfer_cpu: float = 0.5,
+        vector_cpu_factor: float = 1.0,
     ):
         if work_mem_pages < 3:
             raise ValueError("work memory must be at least 3 pages")
         self.work_mem_pages = work_mem_pages
         self.cpu_weight = cpu_weight
+        #: per-row CPU discount for operators the columnar engine
+        #: vectorizes (scans, filters, projections, hash joins,
+        #: aggregation).  1.0 prices the row engine; a columnar Database
+        #: passes ~0.25, shifting crossovers toward CPU-heavy plans.
+        #: Row-at-a-time paths (index fetches, sorts, nested loops) are
+        #: deliberately not discounted.
+        self.vector_cpu_factor = vector_cpu_factor
         #: total buffer-pool frames; used to price repeated random fetches
         #: against tables larger than the pool.  None = assume ample.
         self.buffer_pages = buffer_pages
@@ -94,13 +102,18 @@ class CostModel:
     def _cost(self, io: float, cpu: float) -> Cost:
         return Cost(io, cpu, self.cpu_weight)
 
+    def _vcost(self, io: float, cpu: float) -> Cost:
+        """Cost for a vectorizable operator: per-row CPU discounted by
+        ``vector_cpu_factor``."""
+        return Cost(io, cpu * self.vector_cpu_factor, self.cpu_weight)
+
     def zero(self) -> Cost:
         return self._cost(0.0, 0.0)
 
     # -- access paths --------------------------------------------------------------
 
     def seq_scan(self, pages: int, rows: float) -> Cost:
-        return self._cost(float(max(1, pages)), rows)
+        return self._vcost(float(max(1, pages)), rows)
 
     def index_scan(
         self,
@@ -258,7 +271,7 @@ class CostModel:
         fits in memory, Grace partitioning otherwise."""
         cpu = left_rows + right_rows + output_rows
         if right_pages <= self.work_mem_pages:
-            return self._cost(0.0, cpu)
+            return self._vcost(0.0, cpu)
         io = 2.0 * (max(1.0, left_pages) + max(1.0, right_pages))
         return self._cost(io, cpu * 1.5)
 
@@ -296,13 +309,13 @@ class CostModel:
     # -- other operators --------------------------------------------------------------------
 
     def filter(self, rows: float, num_conjuncts: int = 1) -> Cost:
-        return self._cost(0.0, rows * max(1, num_conjuncts))
+        return self._vcost(0.0, rows * max(1, num_conjuncts))
 
     def project(self, rows: float, width: int = 1) -> Cost:
-        return self._cost(0.0, rows)
+        return self._vcost(0.0, rows)
 
     def aggregate(self, input_rows: float, groups: float) -> Cost:
-        return self._cost(0.0, input_rows + groups)
+        return self._vcost(0.0, input_rows + groups)
 
     def distinct(self, rows: float) -> Cost:
         return self._cost(0.0, rows)

@@ -5,6 +5,7 @@ from .disk import PAGE_SIZE, DiskError, DiskManager, IOStats, PageId
 from .heap import RID, HeapError, HeapFile
 from .page import PageError, SlottedPage
 from .record import RecordError, deserialize_row, record_size, serialize_row
+from .zonemap import ZoneMaps, page_skipper
 
 __all__ = [
     "BufferError_",
@@ -26,4 +27,6 @@ __all__ = [
     "deserialize_row",
     "record_size",
     "serialize_row",
+    "ZoneMaps",
+    "page_skipper",
 ]

@@ -102,6 +102,16 @@ class HeapFile:
             return None
         return deserialize_row(self.schema, record)
 
+    def page_bytes(self, page_no: int) -> bytes:
+        """Snapshot one page's raw bytes (fixed, copied, released).
+
+        The columnar scan decodes pages outside the page guard, so the
+        pin is never held across decode or consumer work.
+        """
+        self._check_page(page_no)
+        with PageGuard(self.pool, (self.file_id, page_no)) as data:
+            return bytes(data)
+
     def scan(
         self, first_page: int = 0, last_page: Optional[int] = None
     ) -> Iterator[Tuple[RID, Tuple[Any, ...]]]:

@@ -1,0 +1,161 @@
+"""Page-level zone maps: per-page per-column (min, max) summaries.
+
+A zone map lets a sequential scan prove that a page cannot contain any
+row satisfying a sargable predicate *before* the page is fixed into the
+buffer pool — the classic "small materialized aggregates" trick.  Each
+page tracks, for every column, the (min, max) of its **non-NULL**
+values; an entry of ``None`` means the page holds no non-NULL value for
+that column (either the page is empty or every value is NULL), which
+makes the page skippable by *any* ``col OP const`` conjunct (a NULL
+operand can never satisfy a comparison).
+
+Zone maps are built by ``ANALYZE`` (a page-aware heap scan) and widened
+on every subsequent insert/update routed through the catalog.  They are
+*conservative*: widening never shrinks a range, and deletes leave the
+map untouched, so the recorded range is always a superset of the live
+values — skipping stays sound, it just gets less effective until the
+next ``ANALYZE`` rebuilds tight bounds.  Code that writes to a table's
+heap directly (bypassing the catalog) must drop the table's zone maps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..expr.analysis import sargable_conjuncts, split_conjuncts
+from ..expr.nodes import CmpOp, ColumnRef, Expr, InList, Literal
+
+#: (min, max) over a page's non-NULL values, or None when there are none
+ZoneEntry = Optional[Tuple[Any, Any]]
+
+
+class ZoneMaps:
+    """Per-page, per-column (min, max) bounds for one heap file."""
+
+    __slots__ = ("ncols", "pages")
+
+    def __init__(self, ncols: int):
+        self.ncols = ncols
+        self.pages: List[List[ZoneEntry]] = []
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.pages)
+
+    def _page(self, page_no: int) -> List[ZoneEntry]:
+        while len(self.pages) <= page_no:
+            self.pages.append([None] * self.ncols)
+        return self.pages[page_no]
+
+    def widen(self, page_no: int, row: Sequence[Any]) -> None:
+        """Fold one stored row into page *page_no*'s bounds."""
+        page = self._page(page_no)
+        for i, value in enumerate(row):
+            if value is None:
+                continue
+            entry = page[i]
+            if entry is None:
+                page[i] = (value, value)
+            else:
+                lo, hi = entry
+                if value < lo:
+                    lo = value
+                if value > hi:
+                    hi = value
+                page[i] = (lo, hi)
+
+    def entry(self, page_no: int, position: int) -> ZoneEntry:
+        if page_no >= len(self.pages):
+            return None
+        return self.pages[page_no][position]
+
+    def summary(self) -> Tuple[int, int]:
+        """(pages mapped, column entries with non-NULL bounds)."""
+        bounded = sum(
+            1 for page in self.pages for e in page if e is not None
+        )
+        return len(self.pages), bounded
+
+
+# -- skip tests ---------------------------------------------------------------
+#
+# For each supported conjunct shape we derive a test over a page's
+# (lo, hi) entry that returns True when NO row on the page can satisfy
+# the conjunct.  Mixed-type comparisons may raise TypeError; callers
+# treat that as "cannot prove, do not skip".
+
+
+def _const_test(op: CmpOp, v: Any) -> Optional[Callable[[Any, Any], bool]]:
+    if op is CmpOp.EQ:
+        return lambda lo, hi: v < lo or v > hi
+    if op is CmpOp.NE:
+        return lambda lo, hi: lo == hi == v
+    if op is CmpOp.LT:
+        return lambda lo, hi: lo >= v
+    if op is CmpOp.LE:
+        return lambda lo, hi: lo > v
+    if op is CmpOp.GT:
+        return lambda lo, hi: hi <= v
+    if op is CmpOp.GE:
+        return lambda lo, hi: hi < v
+    return None
+
+
+def _in_list_test(conjunct: Expr) -> Optional[Tuple[str, Callable]]:
+    """``col IN (literals)`` skips a page when no non-NULL item falls in
+    the page's range.  Negated IN is never used for skipping (a NULL item
+    makes it unsatisfiable everywhere, which folding already handles)."""
+    if not isinstance(conjunct, InList) or conjunct.negated:
+        return None
+    if not isinstance(conjunct.operand, ColumnRef):
+        return None
+    values = []
+    for item in conjunct.items:
+        if not isinstance(item, Literal):
+            return None
+        if item.value is not None:
+            values.append(item.value)
+
+    def test(lo: Any, hi: Any) -> bool:
+        return not any(lo <= v <= hi for v in values)
+
+    return conjunct.operand.name, test
+
+
+def page_skipper(
+    predicate: Optional[Expr], schema, zones: ZoneMaps
+) -> Optional[Callable[[int], bool]]:
+    """Build ``skip(page_no) -> bool`` from the sargable conjuncts of
+    *predicate*, or ``None`` when nothing is provable from zone maps."""
+    if predicate is None:
+        return None
+    conjuncts = split_conjuncts(predicate)
+    tests: List[Tuple[int, Callable[[Any, Any], bool]]] = []
+    for conjunct, cls in sargable_conjuncts(conjuncts):
+        test = _const_test(cls.op, cls.value)
+        if test is None or not schema.has_column(cls.column):
+            continue
+        tests.append((schema.index_of(cls.column), test))
+    for conjunct in conjuncts:
+        in_test = _in_list_test(conjunct)
+        if in_test is not None and schema.has_column(in_test[0]):
+            tests.append((schema.index_of(in_test[0]), in_test[1]))
+    if not tests:
+        return None
+
+    def skip(page_no: int) -> bool:
+        if page_no >= zones.num_pages:
+            return False  # page appended since the map was built
+        page = zones.pages[page_no]
+        for position, test in tests:
+            entry = page[position]
+            if entry is None:
+                return True  # no non-NULL values: col OP const is NULL
+            try:
+                if test(entry[0], entry[1]):
+                    return True
+            except TypeError:
+                continue  # incomparable types: cannot prove, keep page
+        return False
+
+    return skip

@@ -1,0 +1,112 @@
+"""Columnar-engine differential tests: the columnar batch engine must be
+bit-identical to the row engine — same rows, same order, same per-node
+actuals — on the seeded random-query matrix, across batch sizes and
+parallel degrees.
+
+Tier-1 runs a rotating slice; the ``slow``-marked sweep covers the full
+matrix in nightly CI under the rotating ``REPRO_MATRIX_SEED``.
+"""
+
+import itertools
+import os
+
+import pytest
+
+from repro import Database
+from repro.optimizer import PlannerOptions
+from repro.physical import walk_plan
+from repro.qa import RandomWorkload
+from repro.qa.randomqueries import load_dataset
+
+SEED = int(os.environ.get("REPRO_MATRIX_SEED", "1977"))
+
+BATCH_SIZES = [1, 64, 1024]
+DEGREES = [1, 2]
+CELLS = list(itertools.product(BATCH_SIZES, DEGREES))
+
+_workload = RandomWorkload(SEED)
+_reference = _workload.reference()
+_databases = {}
+
+
+def engines_for(batch_size: int):
+    """A (row, columnar) engine pair sharing dataset and batch size.
+
+    Both are ANALYZEd by the loader, so plans are identical and the only
+    varying dimension is the execution engine."""
+    if batch_size not in _databases:
+        pair = []
+        for columnar in (False, True):
+            db = Database(
+                buffer_pages=64,
+                work_mem_pages=4,
+                batch_size=batch_size,
+                columnar=columnar,
+            )
+            # pin the cost model: a columnar Database discounts per-row
+            # CPU (vector_cpu_factor), which can legitimately flip join
+            # orders; the bit-identity differential must vary only the
+            # execution engine, so both sides price plans identically
+            db.model.vector_cpu_factor = 1.0
+            load_dataset(db, _workload.dataset())
+            pair.append(db)
+        _databases[batch_size] = tuple(pair)
+    return _databases[batch_size]
+
+
+def actuals_of(plan):
+    """(node type, actual rows) per node, in walk order."""
+    return [
+        (type(node).__name__, node.actual_rows)
+        for node in walk_plan(plan)
+    ]
+
+
+def check_case(index: int, batch_size: int, degree: int):
+    case = _workload.case(index)
+    row_db, col_db = engines_for(batch_size)
+    options = PlannerOptions(
+        parallel_degree=degree, force_parallel=degree > 1
+    )
+    try:
+        row_db.options = options
+        col_db.options = options
+        row_result = row_db.query(case.sql)
+        col_result = col_db.query(case.sql)
+    finally:
+        row_db.options = PlannerOptions()
+        col_db.options = PlannerOptions()
+    assert col_result.rows == row_result.rows, (
+        f"columnar rows differ from row engine for seed={SEED} "
+        f"case={index} (batch={batch_size}, degree={degree})\n"
+        f"  sql: {case.sql}"
+    )
+    assert case.matches(col_result.rows, _reference), (
+        f"columnar rows differ from reference for seed={SEED} "
+        f"case={index}\n  sql: {case.sql}"
+    )
+    assert actuals_of(col_result.plan) == actuals_of(row_result.plan), (
+        f"per-node actuals differ between engines for seed={SEED} "
+        f"case={index} (batch={batch_size}, degree={degree})\n"
+        f"  sql: {case.sql}"
+    )
+
+
+class TestColumnarSlice:
+    """Tier-1 slice: 30 cases, each under a rotating (batch, degree)
+    cell, so every combination is hit on every run."""
+
+    @pytest.mark.parametrize("index", range(30))
+    def test_case_matches_row_engine(self, index):
+        batch_size, degree = CELLS[index % len(CELLS)]
+        check_case(index, batch_size, degree)
+
+
+@pytest.mark.slow
+class TestColumnarFullMatrix:
+    """Nightly sweep: 200 cases, every (batch, degree) cell per case."""
+
+    @pytest.mark.parametrize("index", range(200))
+    def test_case_matches_row_engine_all_cells(self, index):
+        for batch_size, degree in CELLS:
+            check_case(index, batch_size, degree)

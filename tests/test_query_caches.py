@@ -1,0 +1,220 @@
+"""Plan-cache and result-cache behavior: hits, invalidation, bypass
+rules, and the observability surface (metrics counters, query-log flags,
+``sys_stat_statements`` columns)."""
+
+import pytest
+
+from repro import Database
+from repro.obs import ObsConfig
+
+
+def make_db(**obs_kwargs) -> Database:
+    db = Database(buffer_pages=64, obs=ObsConfig(**obs_kwargs))
+    db.execute("CREATE TABLE t (id INT, v INT)")
+    db.insert_rows("t", [(i, i % 10) for i in range(500)])
+    db.execute("ANALYZE t")
+    return db
+
+
+QUERY = "SELECT v, COUNT(*) FROM t WHERE id > 50 GROUP BY v"
+
+
+class TestPlanCache:
+    def test_repeated_statement_hits(self):
+        db = make_db()
+        first = db.query(QUERY)
+        for _ in range(9):
+            result = db.query(QUERY)
+            assert result.rows == first.rows
+        assert db.plan_cache.stats.misses == 1
+        assert db.plan_cache.stats.hits == 9
+        assert db.plan_cache.stats.hit_rate == pytest.approx(0.9)
+
+    def test_hit_requires_exact_sql(self):
+        # same fingerprint (literals normalize away), different literal:
+        # the plan has the literal baked in, so this must NOT hit
+        db = make_db()
+        a = db.query("SELECT COUNT(*) FROM t WHERE id > 50")
+        b = db.query("SELECT COUNT(*) FROM t WHERE id > 400")
+        assert db.plan_cache.stats.hits == 0
+        assert a.rows != b.rows
+
+    def test_cached_plan_refreshes_actuals(self):
+        db = make_db()
+        db.query(QUERY)
+        db.execute("INSERT INTO t VALUES (1000, 3)")
+        result = db.query(QUERY)
+        assert db.plan_cache.stats.hits == 1  # DML keeps plans
+        assert dict(result.rows)[3] == 46  # ...but rows re-read the heap
+        assert result.plan.actual_rows == len(result.rows)
+
+    @pytest.mark.parametrize(
+        "ddl",
+        [
+            "CREATE TABLE other (id INT)",
+            "CREATE INDEX iv ON t (v)",
+            "ANALYZE t",
+            "CREATE VIEW w AS SELECT id FROM t",
+        ],
+    )
+    def test_invalidated_by_ddl(self, ddl):
+        db = make_db()
+        db.query(QUERY)
+        assert len(db.plan_cache) == 1
+        db.execute(ddl)
+        assert len(db.plan_cache) == 0
+        assert db.plan_cache.stats.invalidations == 1
+
+    def test_invalidated_by_strategy_switch(self):
+        db = make_db()
+        db.query(QUERY)
+        db.set_strategy("greedy")
+        assert len(db.plan_cache) == 0
+        # ...and plans cached under the new options miss after a direct
+        # options swap too (the entry records the options it was built
+        # under)
+        db.query(QUERY)
+        from repro.optimizer import PlannerOptions
+
+        db.options = PlannerOptions(strategy="syntactic")
+        db.query(QUERY)
+        assert db.plan_cache.stats.hits == 0
+
+    def test_explain_analyze_bypasses(self):
+        db = make_db()
+        db.query(QUERY)
+        before = (db.plan_cache.stats.hits, db.plan_cache.stats.misses)
+        db.execute("EXPLAIN ANALYZE " + QUERY)
+        assert (db.plan_cache.stats.hits, db.plan_cache.stats.misses) == before
+
+    def test_subqueries_never_cached(self):
+        db = make_db()
+        sub = "SELECT COUNT(*) FROM t WHERE v = (SELECT MIN(v) FROM t)"
+        db.query(sub)
+        db.query(sub)
+        assert len(db.plan_cache) == 0
+
+    def test_disabled_by_config(self):
+        db = make_db(plan_cache=False)
+        db.query(QUERY)
+        db.query(QUERY)
+        assert len(db.plan_cache) == 0
+        assert db.plan_cache.stats.hits == 0
+
+    def test_off_config_disables(self):
+        db = Database(obs=ObsConfig.off())
+        assert not db.obs.plan_cache and not db.obs.result_cache
+
+    def test_lru_bound(self):
+        # distinct literals share a fingerprint (one bucket, exact-SQL
+        # guarded); the LRU bound is over structurally distinct statements
+        db = make_db(plan_cache_size=4)
+        shapes = [
+            "SELECT COUNT(*) FROM t",
+            "SELECT MIN(id) FROM t",
+            "SELECT MAX(id) FROM t",
+            "SELECT SUM(v) FROM t",
+            "SELECT COUNT(*) FROM t WHERE id > 5",
+            "SELECT v FROM t WHERE id = 3",
+            "SELECT id, v FROM t WHERE v < 2",
+        ]
+        for sql in shapes:
+            db.query(sql)
+        assert len(db.plan_cache) == 4
+
+    def test_near_zero_planning_on_hit(self):
+        db = make_db()
+        cold = db.query(QUERY).planning_seconds
+        warm = min(db.query(QUERY).planning_seconds for _ in range(5))
+        assert warm < cold
+
+
+class TestResultCache:
+    def test_hit_skips_execution(self):
+        db = make_db(result_cache=True)
+        first = db.query(QUERY)
+        rows0 = db.table("t").access.rows_read
+        result = db.query(QUERY)
+        assert result.rows == first.rows
+        assert db.result_cache.stats.hits == 1
+        assert db.table("t").access.rows_read == rows0  # no scan happened
+
+    def test_invalidated_by_write_to_referenced_table(self):
+        db = make_db(result_cache=True)
+        first = db.query(QUERY)
+        db.execute("INSERT INTO t VALUES (1000, 3)")
+        result = db.query(QUERY)
+        assert dict(result.rows)[3] == dict(first.rows)[3] + 1
+
+    def test_unrelated_write_keeps_entry(self):
+        db = make_db(result_cache=True)
+        db.execute("CREATE TABLE u (id INT)")
+        db.query(QUERY)
+        db.execute("INSERT INTO u VALUES (1)")
+        db.query(QUERY)
+        assert db.result_cache.stats.hits == 1
+
+    @pytest.mark.parametrize("dml", ["DELETE FROM t WHERE id = 0",
+                                     "UPDATE t SET v = 5 WHERE id = 1"])
+    def test_invalidated_by_delete_and_update(self, dml):
+        db = make_db(result_cache=True)
+        db.query(QUERY)
+        db.execute(dml)
+        db.query(QUERY)
+        assert db.result_cache.stats.hits == 0
+
+    def test_row_limit(self):
+        db = make_db(result_cache=True, result_cache_max_rows=10)
+        db.query("SELECT id FROM t")  # 500 rows: too big to cache
+        db.query("SELECT id FROM t")
+        assert db.result_cache.stats.hits == 0
+        assert len(db.result_cache) == 0
+
+    def test_off_by_default(self):
+        db = make_db()
+        db.query(QUERY)
+        db.query(QUERY)
+        assert len(db.result_cache) == 0
+
+
+class TestCacheObservability:
+    def test_metrics_counters(self):
+        db = make_db(result_cache=True)
+        for _ in range(3):
+            db.query(QUERY)
+        counters = db.metrics.snapshot()["counters"]
+        assert counters["cache_result_hits_total"] == 2
+        assert counters["cache_result_misses_total"] == 1
+        assert counters["cache_plan_misses_total"] == 1
+        db.execute("ANALYZE t")
+        assert db.metrics.snapshot()["counters"]["cache_invalidations_total"] >= 2
+
+    def test_querylog_flags(self):
+        db = make_db(result_cache=True)
+        for _ in range(3):
+            db.query(QUERY)
+        flags = [
+            (r.plan_cache_hit, r.result_cache_hit)
+            for r in db.query_log.entries()
+            if r.sql == QUERY
+        ]
+        assert flags == [(False, False), (False, True), (False, True)]
+
+    def test_sys_stat_statements_columns(self):
+        db = make_db()
+        for _ in range(4):
+            db.query(QUERY)
+        rows = db.query(
+            "SELECT statement, calls, plan_cache_hits, result_cache_hits "
+            "FROM sys_stat_statements"
+        ).rows
+        stats = {row[0]: row[1:] for row in rows}
+        entry = next(v for k, v in stats.items() if "group by" in k)
+        assert entry == (4, 3, 0)
+
+    def test_result_cache_hit_skips_feedback_and_baselines(self):
+        db = make_db(result_cache=True)
+        db.query(QUERY)
+        feedback0 = len(db.feedback)
+        db.query(QUERY)  # result-cache hit: stale actuals must not leak
+        assert len(db.feedback) == feedback0

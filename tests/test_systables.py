@@ -231,7 +231,7 @@ class TestWaitAccounting:
         assert db.waits.count("exchange.recv") == workers
         assert db.waits.count("exchange.send") == workers
         # per-table access deltas folded: the workers' scans are visible
-        seq, _, rows_read, _, _ = db.table("t").access.delta(access0)
+        seq, _, rows_read, _, _, _ = db.table("t").access.delta(access0)
         assert seq == workers
         assert rows_read == 200
 

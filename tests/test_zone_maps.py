@@ -1,0 +1,141 @@
+"""Zone-map scan skipping: pages proven empty of matches are never
+fixed into the buffer pool, counters reconcile exactly, and skipping
+never changes results."""
+
+import pytest
+
+from repro import Database
+from repro.storage.zonemap import ZoneMaps, page_skipper
+
+
+def make_db(columnar: bool = True) -> Database:
+    db = Database(buffer_pages=64, columnar=columnar)
+    db.execute("CREATE TABLE t (id INT, v INT, label TEXT)")
+    # id is inserted in order, so page zones on id are tight and disjoint
+    db.insert_rows(
+        "t", [(i, i % 7, f"row{i}") for i in range(2000)]
+    )
+    db.execute("ANALYZE t")
+    return db
+
+
+class TestSkipping:
+    def test_selective_scan_skips_pages(self):
+        db = make_db()
+        access0 = db.table("t").access.snapshot()
+        result = db.query("SELECT id FROM t WHERE id >= 1900")
+        assert sorted(result.rows) == [(i,) for i in range(1900, 2000)]
+        _, _, _, _, _, skipped = db.table("t").access.delta(access0)
+        assert skipped > 0
+        assert result.exec_metrics.pages_skipped == skipped
+
+    def test_counters_reconcile(self):
+        # pages_hit + pages_read + pages_skipped == pages of the table,
+        # on a cold pool: every page is either fetched or proven away
+        db = make_db()
+        db.pool.clear()
+        access0 = db.table("t").access.snapshot()
+        db.query("SELECT COUNT(*) FROM t WHERE id < 100")
+        _, _, _, hit, read, skipped = db.table("t").access.delta(access0)
+        assert hit + read + skipped == db.table("t").num_pages
+        assert skipped > 0
+
+    def test_skipped_pages_cause_no_buffer_traffic(self):
+        db = make_db()
+        db.pool.clear()
+        buf0 = db.pool.stats.snapshot()
+        db.query("SELECT COUNT(*) FROM t WHERE id >= 1990")
+        delta = db.pool.stats.delta(buf0)
+        fetched = delta.hits + delta.misses
+        assert fetched < db.table("t").num_pages
+
+    def test_results_match_row_engine(self):
+        row_db, col_db = make_db(columnar=False), make_db(columnar=True)
+        for sql in (
+            "SELECT id, v FROM t WHERE id BETWEEN 500 AND 520",
+            "SELECT COUNT(*) FROM t WHERE id = 1234",
+            "SELECT v, COUNT(*) FROM t WHERE id > 1800 GROUP BY v",
+            "SELECT id FROM t WHERE id IN (3, 999, 1999)",
+            "SELECT COUNT(*) FROM t WHERE id < 0",
+        ):
+            assert col_db.query(sql).rows == row_db.query(sql).rows, sql
+
+    def test_row_engine_never_skips(self):
+        db = make_db(columnar=False)
+        db.query("SELECT COUNT(*) FROM t WHERE id >= 1990")
+        assert db.table("t").access.pages_skipped == 0
+
+    def test_inserts_widen_zones(self):
+        # a post-ANALYZE insert must make its page unskippable
+        db = make_db()
+        db.execute("INSERT INTO t VALUES (100000, 1, 'new')")
+        result = db.query("SELECT id FROM t WHERE id >= 99999")
+        assert result.rows == [(100000,)]
+
+    def test_update_widens_zones(self):
+        db = make_db()
+        db.execute("UPDATE t SET id = 50000 WHERE id = 3")
+        result = db.query("SELECT id FROM t WHERE id >= 49999")
+        assert result.rows == [(50000,)]
+
+    def test_sys_stat_tables_pages_skipped(self):
+        db = make_db()
+        db.query("SELECT COUNT(*) FROM t WHERE id >= 1900")
+        rows = db.query(
+            "SELECT pages_skipped FROM sys_stat_tables "
+            "WHERE table_name = 't'"
+        ).rows
+        assert rows and rows[0][0] > 0
+
+
+class TestZoneMapUnit:
+    def test_widen_and_entry(self):
+        zones = ZoneMaps(2)
+        zones.widen(0, (5, "a"))
+        zones.widen(0, (9, "c"))
+        zones.widen(2, (1, None))
+        assert zones.entry(0, 0) == (5, 9)
+        assert zones.entry(0, 1) == ("a", "c")
+        assert zones.entry(1, 0) is None  # gap page: no values
+        assert zones.entry(2, 1) is None  # all-NULL column
+        assert zones.num_pages == 3
+
+    def test_summary(self):
+        zones = ZoneMaps(2)
+        zones.widen(0, (5, "a"))
+        zones.widen(1, (7, None))
+        assert zones.summary() == (2, 3)
+
+    @pytest.mark.parametrize(
+        "predicate,skipped_pages",
+        [
+            ("id > 15", {0}),  # page 0 holds 0..9
+            ("id < 10", {1, 2}),
+            ("id = 25", {0, 1}),
+            ("id >= 10 AND id <= 19", {0, 2}),
+        ],
+    )
+    def test_page_skipper_conjuncts(self, predicate, skipped_pages):
+        from repro.sql import parse
+
+        db = Database()
+        db.execute("CREATE TABLE z (id INT)")
+        schema = db.table("z").schema
+        zones = ZoneMaps(1)
+        for page in range(3):  # page p holds 10p .. 10p+9
+            zones.widen(page, (10 * page,))
+            zones.widen(page, (10 * page + 9,))
+        stmt = parse(f"SELECT id FROM z WHERE {predicate}")
+        skip = page_skipper(stmt.where, schema, zones)
+        assert skip is not None
+        assert {p for p in range(3) if skip(p)} == skipped_pages
+
+    def test_unprovable_predicate_gives_no_skipper(self):
+        from repro.sql import parse
+
+        db = Database()
+        db.execute("CREATE TABLE z (id INT, v INT)")
+        schema = db.table("z").schema
+        zones = ZoneMaps(2)
+        stmt = parse("SELECT id FROM z WHERE id + v > 3")
+        assert page_skipper(stmt.where, schema, zones) is None
