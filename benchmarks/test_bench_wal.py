@@ -1,0 +1,31 @@
+"""E18 — WAL commit overhead and group commit.
+
+Shapes asserted: logging without fsync stays close to the no-WAL
+ceiling; serial durable commits pay exactly one fsync per COMMIT; group
+commit keeps durability while amortizing fsyncs across concurrent
+committers (fsyncs/commit strictly below the serial arm's 1.0).
+"""
+
+from conftest import save_tables
+
+from repro.bench import e18_wal
+
+
+def run_experiment():
+    return e18_wal.run(txns=200, rows_per_txn=5, threads=8)
+
+
+def test_bench_e18_wal(benchmark):
+    tables = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_tables("e18_wal", tables)
+    (table,) = tables
+    by_config = {row[0]: row for row in table.rows}
+
+    # the durability ladder holds: no log, unsynced log, synced log
+    assert by_config["no wal"][2] == 0.0
+    assert by_config["wal, no fsync"][2] == 0.0
+    assert by_config["wal, fsync"][2] >= 1.0
+
+    # group commit keeps every txn durable but shares fsyncs: strictly
+    # fewer syncs per commit than the serial durable arm
+    assert 0.0 < by_config["wal, group commit"][2] < by_config["wal, fsync"][2]

@@ -19,7 +19,7 @@ Quickstart::
     print(db.query("SELECT v FROM t WHERE id = 2").rows)
 """
 
-from .engine import Database, EngineError, QueryResult
+from .engine import Database, EngineError, QueryResult, Session
 from .obs import InstrumentLevel, MetricsRegistry, ObsConfig, QueryLog, Span, Tracer
 from .optimizer import Cost, CostModel, Planner, PlannerOptions
 from .types import DataType
@@ -30,6 +30,7 @@ __all__ = [
     "Database",
     "EngineError",
     "QueryResult",
+    "Session",
     "Cost",
     "CostModel",
     "Planner",

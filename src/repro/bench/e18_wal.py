@@ -1,0 +1,150 @@
+"""E18 — WAL commit overhead and group commit.
+
+Durability has exactly one hot-path cost in this engine: the fsync that
+seals each COMMIT.  This experiment measures it three ways on an
+insert-heavy transactional workload:
+
+* ``no wal`` — in-memory engine, no log at all (the ceiling);
+* ``wal, no fsync`` — records written but never synced (the price of
+  logging itself: encoding + CRC + write);
+* ``wal, fsync`` — one serial session, every COMMIT waits for its own
+  fsync (the naive durable floor);
+* ``wal, group commit`` — N concurrent sessions; COMMIT fsyncs happen
+  outside the statement lock and ``flush_to`` double-checks the flushed
+  LSN, so one fsync seals every commit appended behind it.
+
+Expected shape: logging without fsync costs little over no-WAL; serial
+fsync dominates commit latency (fsyncs/commit = 1); group commit
+amortizes — fsyncs/commit drops well below 1 while every transaction
+remains durable.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import threading
+import time
+from typing import List, Optional, Tuple
+
+from .measure import fresh_db
+from .tables import Ratio, ResultTable
+
+def _run_txns(session, table: str, txns: int, rows_per_txn: int) -> None:
+    for t in range(txns):
+        session.execute("BEGIN")
+        for j in range(rows_per_txn):
+            k = t * rows_per_txn + j
+            session.execute(f"INSERT INTO {table} VALUES ({k}, {k % 97})")
+        session.execute("COMMIT")
+
+
+def _serial(db, txns: int, rows_per_txn: int) -> float:
+    session = db.create_session()
+    try:
+        start = time.perf_counter()
+        _run_txns(session, "kv0", txns, rows_per_txn)
+        return time.perf_counter() - start
+    finally:
+        session.close()
+
+
+def _concurrent(db, txns: int, rows_per_txn: int, threads: int) -> float:
+    # one table per committer: table write locks are exclusive to txn
+    # end, so same-table transactions would serialize and no two COMMITs
+    # could ever share an fsync
+    per = txns // threads
+    failures: List[BaseException] = []
+
+    def body(i: int) -> None:
+        session = db.create_session()
+        try:
+            _run_txns(session, f"kv{i}", per, rows_per_txn)
+        except BaseException as exc:  # noqa: BLE001 - surfaced by caller
+            failures.append(exc)
+        finally:
+            session.close()
+
+    workers = [
+        threading.Thread(target=body, args=(i,)) for i in range(threads)
+    ]
+    start = time.perf_counter()
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    elapsed = time.perf_counter() - start
+    if failures:
+        raise failures[0]
+    return elapsed
+
+
+def _measure(
+    config: str, txns: int, rows_per_txn: int, threads: int
+) -> Tuple[float, int, int]:
+    """(seconds, fsyncs, commits-observed) for one configuration."""
+    data_dir: Optional[str] = None
+    if config == "no wal":
+        db = fresh_db()
+    else:
+        data_dir = tempfile.mkdtemp(prefix="repro-e18-")
+        db = fresh_db(data_dir=data_dir, wal_sync=(config != "wal, no fsync"))
+    try:
+        grouped = config == "wal, group commit"
+        tables = [f"kv{i}" for i in range(threads)] if grouped else ["kv0"]
+        for name in tables:
+            db.execute(f"CREATE TABLE {name} (k INT, v INT)")
+        if db.txn.writer is not None:
+            db.txn.writer.fsyncs = 0
+        if grouped:
+            elapsed = _concurrent(db, txns, rows_per_txn, threads)
+        else:
+            elapsed = _serial(db, txns, rows_per_txn)
+        fsyncs = db.txn.writer.fsyncs if db.txn.writer is not None else 0
+        count = sum(
+            db.query(f"SELECT COUNT(*) FROM {name}").rows[0][0]
+            for name in tables
+        )
+        expected = (txns // threads) * threads if grouped else txns
+        assert count == expected * rows_per_txn, (count, config)
+        return elapsed, fsyncs, expected
+    finally:
+        db.close()
+        if data_dir is not None:
+            shutil.rmtree(data_dir, ignore_errors=True)
+
+
+def run(
+    txns: int = 200,
+    rows_per_txn: int = 5,
+    threads: int = 8,
+) -> List[ResultTable]:
+    table = ResultTable(
+        "E18 — WAL commit overhead (insert txns, durable vs not)",
+        [
+            "configuration",
+            "commits/s",
+            "fsyncs/commit",
+            "slowdown vs no-wal",
+        ],
+        notes=(
+            f"{txns} transactions x {rows_per_txn} inserts; group commit "
+            f"uses {threads} concurrent sessions — COMMIT fsyncs run "
+            "outside the statement lock, so one fsync seals every commit "
+            "appended behind it"
+        ),
+    )
+    configs = ("no wal", "wal, no fsync", "wal, fsync", "wal, group commit")
+    baseline = None
+    for config in configs:
+        elapsed, fsyncs, commits = _measure(config, txns, rows_per_txn, threads)
+        rate = commits / elapsed if elapsed else 0.0
+        if baseline is None:
+            baseline = rate
+        table.add(
+            config,
+            round(rate, 1),
+            round(fsyncs / commits, 3) if commits else 0.0,
+            Ratio(baseline / rate if rate else 0.0),
+        )
+    return [table]

@@ -154,6 +154,9 @@ class Catalog:
         self.pool = pool
         self._tables: Dict[str, TableInfo] = {}
         self._system_tables: Dict[str, SystemTableProvider] = {}
+        #: transaction manager whose hooks new heaps report mutations to
+        #: (attached by the engine; None = no transaction support)
+        self.txn = None
 
     # -- tables ----------------------------------------------------------------
 
@@ -165,6 +168,7 @@ class Catalog:
             c.table != name for c in schema
         ) else schema
         heap = HeapFile(self.pool, qualified, name)
+        heap.hooks = self.txn
         info = TableInfo(name, qualified, heap)
         self._tables[key] = info
         return info

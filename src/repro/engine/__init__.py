@@ -1,5 +1,6 @@
-"""Engine facade: the Database class."""
+"""Engine facade: the Database class and its per-connection sessions."""
 
 from .database import Database, EngineError, QueryResult
+from .session import Session
 
-__all__ = ["Database", "EngineError", "QueryResult"]
+__all__ = ["Database", "EngineError", "QueryResult", "Session"]

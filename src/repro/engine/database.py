@@ -19,6 +19,9 @@ and exposes the per-query metrics the benchmark harness consumes.
 
 from __future__ import annotations
 
+import json
+import os
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -52,6 +55,9 @@ from ..optimizer import CostModel, Planner, PlannerOptions, PlannerStats
 from ..physical import PhysicalPlan, walk_plan
 from ..sql import (
     AnalyzeStmt,
+    BeginStmt,
+    CheckpointStmt,
+    CommitStmt,
     CreateIndexStmt,
     CreateTableStmt,
     CreateViewStmt,
@@ -60,11 +66,22 @@ from ..sql import (
     DropViewStmt,
     ExplainStmt,
     InsertStmt,
+    RollbackStmt,
     SelectStmt,
     UpdateStmt,
     parse,
 )
+from ..wal import (
+    RecoveryReport,
+    Transaction,
+    TxnManager,
+    WalRecordType,
+    open_wal,
+    recover,
+    write_checkpoint,
+)
 from .cache import PlanCache, ResultCache
+from .session import Session
 from .views import Expansion, ViewDef, ViewExpander
 from ..storage import BufferPool, BufferStats, DiskManager, IOStats, Replacement
 from ..types import Column, Schema
@@ -110,10 +127,18 @@ class Database:
         obs: Optional[ObsConfig] = None,
         batch_size: int = ExecContext.DEFAULT_BATCH_SIZE,
         columnar: bool = False,
+        data_dir: Optional[str] = None,
+        wal_sync: bool = True,
     ):
         self.disk = DiskManager(page_size)
         self.pool = BufferPool(self.disk, buffer_pages, replacement)
         self.catalog = Catalog(self.pool)
+        #: transaction manager: lifecycle, undo, table locks; doubles as
+        #: the WAL hook target (writer attached below when durable)
+        self.txn = TxnManager()
+        self.catalog.txn = self.txn
+        self.pool.evict_guard = self.txn.may_evict
+        self.pool.write_hook = self.txn.before_page_write
         self.work_mem_pages = work_mem_pages
         self.batch_size = batch_size
         #: run queries through the columnar batch engine (ColumnBatch
@@ -144,6 +169,7 @@ class Database:
         self.waits = WaitEventStats()
         if self.obs.waits:
             self.pool.waits = self.waits
+            self.txn.waits = self.waits
         #: in-flight user statements (serves ``sys_stat_activity``)
         self.activity = ActivityRegistry()
         #: slow-statement capture (``auto_explain``-style)
@@ -157,8 +183,31 @@ class Database:
         #: result cache snapshots these to stay invalidation-aware
         self._write_epochs: Dict[str, int] = {}
         self._global_epoch = 0
+        #: the engine-wide statement lock: one statement mutates or plans
+        #: at a time; lock *waits* (table locks) happen outside it, and
+        #: COMMIT's fsync happens after it, so sessions still overlap
+        #: usefully (group commit) without a thread-safe executor
+        self._stmt_lock = threading.RLock()
+        self._session_guard = threading.Lock()
+        self._sessions: Dict[int, Session] = {}
+        self._next_session_id = 1
+        #: the default session behind the plain ``db.execute(sql)`` API
+        self._session = self.create_session()
+        self.data_dir = data_dir
+        self.last_recovery: Optional[RecoveryReport] = None
+        self._closed = False
         if self.obs.system_tables:
             register_system_tables(self)
+        if data_dir is not None:
+            os.makedirs(data_dir, exist_ok=True)
+            self.last_recovery = recover(self, data_dir)
+            self.txn.writer = open_wal(
+                data_dir,
+                self.last_recovery.next_lsn,
+                waits=self.waits if self.obs.waits else None,
+                sync=wal_sync,
+            )
+            self.txn.set_next_txn_id(self.last_recovery.next_txn_id)
 
     # -- cache invalidation ------------------------------------------------------------
 
@@ -172,33 +221,103 @@ class Database:
         if dropped and self.obs.metrics:
             self.metrics.counter("cache_invalidations_total").inc(dropped)
 
-    def _bump_write_epoch(self, table: str) -> None:
-        """A write to *table*: cached results that read it become stale
-        (plans survive — they re-read the heap on every execution)."""
-        key = table.lower()
-        self._write_epochs[key] = self._write_epochs.get(key, 0) + 1
+    # -- sessions and transactions -----------------------------------------------------
+
+    def create_session(self) -> Session:
+        """Open a new session (one logical connection)."""
+        with self._session_guard:
+            session_id = self._next_session_id
+            self._next_session_id += 1
+            session = Session(self, session_id)
+            self._sessions[session_id] = session
+            return session
+
+    def sessions(self) -> List[Session]:
+        with self._session_guard:
+            return list(self._sessions.values())
+
+    def _forget_session(self, session: Session) -> None:
+        with self._session_guard:
+            self._sessions.pop(session.id, None)
+
+    def rollback_session_txn(self, session: Session) -> None:
+        """Roll back a session's open explicit transaction, if any."""
+        txn = session.txn
+        session.txn = None
+        if txn is not None:
+            self._rollback_txn(txn)
+
+    def _commit_txn(self, txn: Transaction) -> None:
+        """COMMIT: make durable, release locks, then publish the buffered
+        write epochs so other sessions' cached results go stale only for
+        writes that actually committed."""
+        self.txn.commit(txn)
+        for key, bumps in txn.pending_epochs.items():
+            self._write_epochs[key] = self._write_epochs.get(key, 0) + bumps
+        txn.pending_epochs.clear()
+
+    def _rollback_txn(self, txn: Transaction) -> None:
+        # undo mutates heaps and indexes, so it runs as a statement
+        # (lock ordering is safe: a statement-lock holder never waits on
+        # table locks — those are always acquired first)
+        with self._stmt_lock:
+            self.txn.rollback(txn, self.catalog)
+
+    def _begin(self, session: Session) -> QueryResult:
+        if session.txn is not None:
+            raise EngineError("already in a transaction")
+        session.txn = self.txn.begin(session.id, explicit=True)
+        return QueryResult(rows=[], columns=[])
+
+    def _commit(self, session: Session) -> QueryResult:
+        txn = session.txn
+        session.txn = None
+        if txn is not None:
+            self._commit_txn(txn)
+        return QueryResult(rows=[], columns=[])
+
+    def _rollback(self, session: Session) -> QueryResult:
+        self.rollback_session_txn(session)
+        return QueryResult(rows=[], columns=[])
 
     # -- statement dispatch ------------------------------------------------------------
 
-    def execute(self, sql: str) -> QueryResult:
+    def execute(
+        self, sql: str, session: Optional[Session] = None
+    ) -> QueryResult:
         """Parse and run one statement of any kind."""
+        session = session or self._session
         tracer = self._new_tracer()
         with tracer.span("query"):
             with tracer.span("parse"):
                 stmt = parse(sql)
             if isinstance(stmt, SelectStmt):
-                result = self._run_select(stmt, sql=sql, tracer=tracer)
+                result = self._run_select(
+                    stmt, sql=sql, tracer=tracer, session=session
+                )
             elif isinstance(stmt, ExplainStmt):
-                result = self._explain(stmt, sql, tracer)
+                result = self._explain(stmt, sql, tracer, session)
+            elif isinstance(stmt, BeginStmt):
+                return self._begin(session)
+            elif isinstance(stmt, CommitStmt):
+                return self._commit(session)
+            elif isinstance(stmt, RollbackStmt):
+                return self._rollback(session)
+            elif isinstance(stmt, CheckpointStmt):
+                return self.checkpoint()
             else:
-                return self._execute_other(stmt, sql)
+                return self._execute_other(stmt, sql, session)
         if tracer.root is not None:
             result.trace = tracer.root
             self.last_trace = tracer.root
         return result
 
     def _explain(
-        self, stmt: ExplainStmt, sql: str, tracer: Tracer
+        self,
+        stmt: ExplainStmt,
+        sql: str,
+        tracer: Tracer,
+        session: Optional[Session] = None,
     ) -> QueryResult:
         """EXPLAIN [(ANALYZE | VERBOSE | SEARCH | DIFF)]: render the plan
         (with actuals when executed), optionally followed by the
@@ -213,6 +332,7 @@ class Database:
                 tracer=tracer,
                 analyze=True,
                 collect_search=collect_search,
+                session=session,
             )
             text = inner.plan.pretty(actuals=True)
             text += (
@@ -234,16 +354,17 @@ class Database:
                 execution_seconds=inner.execution_seconds,
             )
         start = time.perf_counter()
-        before = len(self._live_transients)
-        try:
-            with tracer.span("plan"):
-                physical, pstats = self.plan_select(
-                    stmt.inner, tracer=tracer, collect_search=collect_search
-                )
-            text = physical.pretty()
-            text += self._search_section(stmt)
-        finally:
-            self._drop_transients_from(before)
+        with self._stmt_lock:
+            before = len(self._live_transients)
+            try:
+                with tracer.span("plan"):
+                    physical, pstats = self.plan_select(
+                        stmt.inner, tracer=tracer, collect_search=collect_search
+                    )
+                text = physical.pretty()
+                text += self._search_section(stmt)
+            finally:
+                self._drop_transients_from(before)
         planning = time.perf_counter() - start
         return QueryResult(
             rows=[(line,) for line in text.splitlines()],
@@ -265,12 +386,15 @@ class Database:
         chosen plan against the stored baseline.  The baseline itself is
         NOT advanced — diffing is a read-only question."""
         start = time.perf_counter()
-        before = len(self._live_transients)
-        try:
-            with tracer.span("plan"):
-                physical, pstats = self.plan_select(stmt.inner, tracer=tracer)
-        finally:
-            self._drop_transients_from(before)
+        with self._stmt_lock:
+            before = len(self._live_transients)
+            try:
+                with tracer.span("plan"):
+                    physical, pstats = self.plan_select(
+                        stmt.inner, tracer=tracer
+                    )
+            finally:
+                self._drop_transients_from(before)
         planning = time.perf_counter() - start
         baseline = self.baselines.get(statement_fingerprint(sql))
         if baseline is None:
@@ -294,8 +418,91 @@ class Database:
             planning_seconds=planning,
         )
 
-    def _execute_other(self, stmt: Any, sql: str) -> QueryResult:
+    def _execute_other(
+        self, stmt: Any, sql: str, session: Optional[Session] = None
+    ) -> QueryResult:
         """DDL / DML / utility statements (everything but SELECT/EXPLAIN)."""
+        session = session or self._session
+        if isinstance(stmt, (InsertStmt, DeleteStmt, UpdateStmt)):
+            return self._execute_dml(stmt, session)
+        if session.txn is not None:
+            raise EngineError(
+                "DDL and utility statements autocommit and cannot run "
+                "inside an explicit transaction"
+            )
+        txn = self.txn.begin(session.id)
+        try:
+            for table in self._utility_lock_targets(stmt):
+                self.txn.lock_table(txn, table)
+            with self.txn.activate(txn), self._stmt_lock:
+                result = self._apply_utility(stmt, sql)
+                if isinstance(
+                    stmt,
+                    (
+                        CreateTableStmt,
+                        CreateIndexStmt,
+                        DropTableStmt,
+                        CreateViewStmt,
+                        DropViewStmt,
+                        AnalyzeStmt,
+                    ),
+                ):
+                    self.txn.log_ddl(
+                        json.dumps({"sql": sql}).encode("utf-8")
+                    )
+        except BaseException:
+            self._rollback_txn(txn)
+            raise
+        self._commit_txn(txn)
+        return result
+
+    def _execute_dml(self, stmt: Any, session: Session) -> QueryResult:
+        """INSERT/UPDATE/DELETE under the session's transaction (or an
+        implicit autocommitted one).  The table write lock is taken
+        *before* the statement lock — lock waits must not block the
+        engine — and an implicit COMMIT's fsync happens *after* the
+        statement lock is released (group commit batching)."""
+        own = session.txn
+        txn = own if own is not None else self.txn.begin(session.id)
+        try:
+            self.txn.lock_table(txn, stmt.table)
+            with self.txn.activate(txn), self._stmt_lock:
+                if isinstance(stmt, InsertStmt):
+                    self._insert(stmt)
+                    result = QueryResult(rows=[], columns=[])
+                elif isinstance(stmt, DeleteStmt):
+                    count = self._delete(stmt)
+                    result = QueryResult(rows=[(count,)], columns=["deleted"])
+                else:
+                    count = self._update(stmt)
+                    result = QueryResult(rows=[(count,)], columns=["updated"])
+                key = stmt.table.lower()
+                txn.pending_epochs[key] = txn.pending_epochs.get(key, 0) + 1
+        except BaseException:
+            # statement failure aborts the whole transaction (a partially
+            # applied statement cannot be left behind)
+            if own is not None:
+                session.txn = None
+            self._rollback_txn(txn)
+            raise
+        if own is None:
+            self._commit_txn(txn)
+        return result
+
+    def _utility_lock_targets(self, stmt: Any) -> List[str]:
+        """Tables a DDL/utility statement must quiesce before running."""
+        if isinstance(stmt, (CreateIndexStmt, DropTableStmt)):
+            if self.catalog.has_table(stmt.table):
+                return [stmt.table]
+            return []
+        if isinstance(stmt, AnalyzeStmt):
+            if stmt.table is None:
+                return sorted(info.name for info in self.catalog.tables())
+            if self.catalog.has_table(stmt.table):
+                return [stmt.table]
+        return []
+
+    def _apply_utility(self, stmt: Any, sql: str) -> QueryResult:
         if isinstance(stmt, CreateTableStmt):
             schema = Schema(
                 Column(c.name, c.dtype, stmt.table, c.nullable)
@@ -324,10 +531,6 @@ class Database:
             self._invalidate_caches("DROP TABLE")
             self.catalog.drop_table(stmt.table)
             return QueryResult(rows=[], columns=[])
-        if isinstance(stmt, InsertStmt):
-            self._insert(stmt)
-            self._bump_write_epoch(stmt.table)
-            return QueryResult(rows=[], columns=[])
         if isinstance(stmt, CreateViewStmt):
             key = stmt.name.lower()
             if self.catalog.has_table(stmt.name) or key in self.views:
@@ -341,14 +544,6 @@ class Database:
             self._invalidate_caches("DROP VIEW")
             del self.views[stmt.name.lower()]
             return QueryResult(rows=[], columns=[])
-        if isinstance(stmt, DeleteStmt):
-            count = self._delete(stmt)
-            self._bump_write_epoch(stmt.table)
-            return QueryResult(rows=[(count,)], columns=["deleted"])
-        if isinstance(stmt, UpdateStmt):
-            count = self._update(stmt)
-            self._bump_write_epoch(stmt.table)
-            return QueryResult(rows=[(count,)], columns=["updated"])
         if isinstance(stmt, AnalyzeStmt):
             self._invalidate_caches("ANALYZE")
             if stmt.table is None:
@@ -386,7 +581,9 @@ class Database:
             )
         raise EngineError(f"unsupported statement {type(stmt).__name__}")
 
-    def query(self, sql: str) -> QueryResult:
+    def query(
+        self, sql: str, session: Optional[Session] = None
+    ) -> QueryResult:
         """Run a SELECT and return rows + metrics."""
         tracer = self._new_tracer()
         with tracer.span("query"):
@@ -394,7 +591,9 @@ class Database:
                 stmt = parse(sql)
             if not isinstance(stmt, SelectStmt):
                 raise EngineError("query() expects a SELECT; use execute()")
-            result = self._run_select(stmt, sql=sql, tracer=tracer)
+            result = self._run_select(
+                stmt, sql=sql, tracer=tracer, session=session or self._session
+            )
         if tracer.root is not None:
             result.trace = tracer.root
             self.last_trace = tracer.root
@@ -909,9 +1108,40 @@ class Database:
         tracer: Optional[Tracer] = None,
         analyze: bool = False,
         collect_search: Optional[bool] = None,
+        session: Optional[Session] = None,
     ) -> QueryResult:
         tracer = tracer or Tracer(enabled=False)
         start = time.perf_counter()
+        # Top-level statements (those arriving with a session) take
+        # statement-scoped shared table locks *before* the statement
+        # lock, so they never read another transaction's uncommitted
+        # rows and never block the engine while waiting.
+        acquired: List[str] = []
+        if session is not None:
+            names = [ref.table for ref in stmt.from_tables]
+            names += [join.table.table for join in stmt.joins]
+            acquired = self.txn.lock_tables_shared(
+                [n for n in names if self.catalog.has_table(n)],
+                txn=session.txn,
+            )
+        try:
+            with self._stmt_lock:
+                return self._run_select_locked(
+                    stmt, sql, tracer, analyze, collect_search, session, start
+                )
+        finally:
+            self.txn.unlock_shared(acquired)
+
+    def _run_select_locked(
+        self,
+        stmt: SelectStmt,
+        sql: Optional[str],
+        tracer: Tracer,
+        analyze: bool,
+        collect_search: Optional[bool],
+        session: Optional[Session],
+        start: float,
+    ) -> QueryResult:
         before_transients = len(self._live_transients)
         # Cacheable = user-issued, not EXPLAIN ANALYZE (which must show a
         # cold plan), feedback off (feedback-corrected plans drift between
@@ -923,7 +1153,14 @@ class Database:
             and not self.options.use_feedback
             and not self._has_subqueries(stmt)
         )
-        if cacheable and self.obs.result_cache:
+        # A session with pending (uncommitted) writes bypasses the result
+        # cache: entries reflect committed state only, so serving one
+        # could hide the session's own changes — while evicting it (the
+        # cache's staleness reaction) would wrongly punish everyone else
+        # for writes that may yet roll back.
+        txn = session.txn if session is not None else None
+        bypass_result_cache = txn is not None and bool(txn.pending_epochs)
+        if cacheable and self.obs.result_cache and not bypass_result_cache:
             hit = self.result_cache.lookup(
                 sql, self._global_epoch, self._write_epochs
             )
@@ -954,7 +1191,13 @@ class Database:
                     else "cache_plan_misses_total"
                 ).inc()
         plan_cache_hit = cached_plan is not None
-        entry = self.activity.begin(sql) if sql is not None else None
+        entry = (
+            self.activity.begin(
+                sql, session_id=session.id if session is not None else 0
+            )
+            if sql is not None
+            else None
+        )
         made_transients = False
         try:
             if cached_plan is not None:
@@ -1010,14 +1253,19 @@ class Database:
             and result.rowcount <= self.obs.result_cache_max_rows
         ):
             tables = self._plan_tables(physical)
-            self.result_cache.store(
-                sql,
-                result.rows,
-                result.columns,
-                physical,
-                {name: self._write_epochs.get(name, 0) for name in tables},
-                self._global_epoch,
-            )
+            # never publish rows that include this session's uncommitted
+            # writes — a rollback would leave the entry poisoned for
+            # everyone else
+            dirty = set(txn.pending_epochs) if txn is not None else set()
+            if not (tables & dirty):
+                self.result_cache.store(
+                    sql,
+                    result.rows,
+                    result.columns,
+                    physical,
+                    {name: self._write_epochs.get(name, 0) for name in tables},
+                    self._global_epoch,
+                )
         self._record_query(
             sql, physical, result, plan_cache_hit=plan_cache_hit
         )
@@ -1301,18 +1549,118 @@ class Database:
                     index.structure.insert(new_value, new_rid)
         return len(victims)
 
+    # -- durability ---------------------------------------------------------------------------
+
+    def checkpoint(self) -> QueryResult:
+        """Snapshot the page store and truncate the WAL.
+
+        Quiesces the database first: a synthetic transaction takes every
+        table's write lock (so it waits for in-flight transactions to
+        resolve — their locks release only after the COMMIT record is
+        durable) plus the statement lock (so no DDL interleaves).  The
+        snapshot therefore never contains uncommitted data, which is what
+        makes redo-only recovery sound.
+        """
+        if self.data_dir is None:
+            raise EngineError(
+                "CHECKPOINT requires a database opened with data_dir"
+            )
+        writer = self.txn.writer
+        txn = self.txn.begin(self._session.id)
+        try:
+            for name in sorted(info.name for info in self.catalog.tables()):
+                self.txn.lock_table(txn, name)
+            with self._stmt_lock:
+                self.pool.flush_all()
+                writer.flush_all()
+                last = writer.flushed_lsn
+                write_checkpoint(
+                    self, self.data_dir, last, self.txn.next_txn_id
+                )
+                writer.reset(last + 1)
+                lsn = writer.append(
+                    WalRecordType.CHECKPOINT,
+                    0,
+                    payload=json.dumps({"last_lsn": last}).encode("utf-8"),
+                )
+                writer.flush_to(lsn)
+        finally:
+            self.txn.commit(txn)  # lock-only txn: releases, logs nothing
+        return QueryResult(rows=[(last,)], columns=["checkpoint_lsn"])
+
+    def close(self) -> None:
+        """Shut down cleanly: roll back open transactions, checkpoint
+        (durable databases reopen from the snapshot with an empty WAL),
+        and close the WAL file."""
+        if self._closed:
+            return
+        self._closed = True
+        for session in self.sessions():
+            if session.txn is not None:
+                self.rollback_session_txn(session)
+        if self.data_dir is not None and self.txn.writer is not None:
+            self.checkpoint()
+            self.txn.writer.close()
+            self.txn.writer = None
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     # -- convenience --------------------------------------------------------------------------
 
-    def insert_rows(self, table: str, rows: Sequence[Sequence[Any]]) -> int:
-        self._bump_write_epoch(table)
-        return self.catalog.insert_rows(table, rows)
+    def insert_rows(
+        self,
+        table: str,
+        rows: Sequence[Sequence[Any]],
+        session: Optional[Session] = None,
+    ) -> int:
+        """Bulk insert under the session's transaction (or an implicit
+        autocommitted one) — the programmatic twin of INSERT."""
+        session = session or self._session
+        own = session.txn
+        txn = own if own is not None else self.txn.begin(session.id)
+        try:
+            self.txn.lock_table(txn, table)
+            with self.txn.activate(txn), self._stmt_lock:
+                count = self.catalog.insert_rows(table, rows)
+                key = table.lower()
+                txn.pending_epochs[key] = txn.pending_epochs.get(key, 0) + 1
+        except BaseException:
+            if own is not None:
+                session.txn = None
+            self._rollback_txn(txn)
+            raise
+        if own is None:
+            self._commit_txn(txn)
+        return count
 
     def analyze(self, table: Optional[str] = None, **kwargs: Any) -> None:
         self._invalidate_caches("ANALYZE")
+        txn = self.txn.begin(self._session.id)
+        try:
+            for name in self._analyze_lock_targets(table):
+                self.txn.lock_table(txn, name)
+            with self.txn.activate(txn), self._stmt_lock:
+                if table is None:
+                    self.catalog.analyze_all(**kwargs)
+                else:
+                    self.catalog.analyze(table, **kwargs)
+                sql = f"ANALYZE {table}" if table is not None else "ANALYZE"
+                self.txn.log_ddl(json.dumps({"sql": sql}).encode("utf-8"))
+        except BaseException:
+            self._rollback_txn(txn)
+            raise
+        self._commit_txn(txn)
+
+    def _analyze_lock_targets(self, table: Optional[str]) -> List[str]:
         if table is None:
-            self.catalog.analyze_all(**kwargs)
-        else:
-            self.catalog.analyze(table, **kwargs)
+            return sorted(info.name for info in self.catalog.tables())
+        if self.catalog.has_table(table):
+            return [table]
+        return []
 
     def table(self, name: str) -> TableInfo:
         return self.catalog.table(name)

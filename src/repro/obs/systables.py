@@ -68,6 +68,7 @@ class ActivityEntry:
     current_operator: str = ""
     rows_produced: int = 0
     started: float = field(default_factory=time.perf_counter)
+    session_id: int = 0
 
     @property
     def elapsed_ms(self) -> float:
@@ -88,10 +89,10 @@ class ActivityRegistry:
         self._live: Dict[int, ActivityEntry] = {}
         self._next_id = 0
 
-    def begin(self, sql: str) -> ActivityEntry:
+    def begin(self, sql: str, session_id: int = 0) -> ActivityEntry:
         with self._lock:
             self._next_id += 1
-            entry = ActivityEntry(self._next_id, sql)
+            entry = ActivityEntry(self._next_id, sql, session_id=session_id)
             self._live[entry.query_id] = entry
             return entry
 
@@ -256,6 +257,9 @@ def _stat_metrics(db: "Database") -> Tuple[Schema, Rows]:
 
 
 def _stat_activity(db: "Database") -> Tuple[Schema, Rows]:
+    """Live statements plus one row per idle session, so connections are
+    visible even between statements (the columns new in this shape —
+    ``session_id``, ``state`` — sit at the end, after the originals)."""
     schema = _schema(
         "sys_stat_activity",
         ("query_id", DataType.INT),
@@ -264,6 +268,8 @@ def _stat_activity(db: "Database") -> Tuple[Schema, Rows]:
         ("rows_produced", DataType.INT),
         ("elapsed_ms", DataType.FLOAT),
         ("sql", DataType.TEXT),
+        ("session_id", DataType.INT),
+        ("state", DataType.TEXT),
     )
     rows: Rows = [
         (
@@ -273,9 +279,17 @@ def _stat_activity(db: "Database") -> Tuple[Schema, Rows]:
             entry.rows_produced,
             entry.elapsed_ms,
             " ".join(entry.sql.split())[:200],
+            entry.session_id,
+            "active",
         )
         for entry in db.activity.live()
     ]
+    busy = {row[6] for row in rows}
+    for session in getattr(db, "sessions", list)():
+        if session.id in busy:
+            continue
+        state = "idle in transaction" if session.in_transaction else "idle"
+        rows.append((0, "", "", 0, 0.0, "", session.id, state))
     return schema, rows
 
 

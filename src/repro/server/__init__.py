@@ -1,0 +1,28 @@
+"""Client/server layer: a socket server over the embedded engine.
+
+``DatabaseServer`` wraps a :class:`~repro.engine.Database` and serves a
+4-byte-length-prefixed JSON protocol (:mod:`.protocol`), one thread and
+one engine session per connection.  ``Client`` is the matching blocking
+client.  The server exists for the concurrency and crash tests — and to
+make the transaction machinery observable from more than one session.
+"""
+
+from .client import Client, ClientResult, ServerError
+from .protocol import (
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+from .server import DatabaseServer
+
+__all__ = [
+    "Client",
+    "ClientResult",
+    "ServerError",
+    "MAX_MESSAGE_BYTES",
+    "ProtocolError",
+    "recv_message",
+    "send_message",
+    "DatabaseServer",
+]

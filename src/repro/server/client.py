@@ -1,0 +1,76 @@
+"""A thin blocking client for :class:`~repro.server.DatabaseServer`."""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+from .protocol import recv_message, send_message
+
+
+class ServerError(Exception):
+    """An error raised engine-side and relayed over the wire."""
+
+    def __init__(self, message: str, error_type: str = "Exception"):
+        super().__init__(message)
+        self.error_type = error_type
+
+
+@dataclass
+class ClientResult:
+    """Rows as tuples, like the embedded API returns them."""
+
+    rows: List[Tuple[Any, ...]]
+    columns: List[str]
+    in_transaction: bool = False
+
+    @property
+    def rowcount(self) -> int:
+        return len(self.rows)
+
+
+class Client:
+    """One connection = one server-side session (transaction state
+    included); close it to roll back whatever was left open."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def execute(self, sql: str) -> ClientResult:
+        send_message(self._sock, {"sql": sql})
+        reply = recv_message(self._sock)
+        if not reply.get("ok"):
+            raise ServerError(
+                reply.get("error", "unknown server error"),
+                reply.get("error_type", "Exception"),
+            )
+        return ClientResult(
+            rows=[tuple(row) for row in reply.get("rows", [])],
+            columns=list(reply.get("columns", [])),
+            in_transaction=bool(reply.get("in_transaction")),
+        )
+
+    query = execute
+
+    def close(self) -> None:
+        if self._sock is None:
+            return
+        try:
+            send_message(self._sock, {"op": "close"})
+            recv_message(self._sock)
+        except (OSError, ConnectionError):
+            pass
+        finally:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

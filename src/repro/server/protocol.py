@@ -1,0 +1,66 @@
+"""Wire protocol: 4-byte big-endian length prefix + UTF-8 JSON body.
+
+One message per statement in each direction.  Requests are
+``{"sql": "..."}``; responses are ``{"ok": true, "columns": [...],
+"rows": [[...], ...]}`` or ``{"ok": false, "error": "...",
+"error_type": "EngineError"}``.  JSON keeps the protocol inspectable
+with ``nc``/``tcpdump`` and the framing makes message boundaries exact
+regardless of TCP segmentation.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict
+
+#: refuse absurd frames (a corrupted length prefix would otherwise make
+#: the reader try to allocate gigabytes)
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """Malformed frame or JSON on the wire."""
+
+
+def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"message too large ({len(body)} bytes)")
+    sock.sendall(_LEN.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-message")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Dict[str, Any]:
+    """Read one framed message; raises ``ConnectionError`` on a clean
+    close *between* messages too (callers treat that as disconnect)."""
+    header = sock.recv(_LEN.size)
+    if not header:
+        raise ConnectionError("peer disconnected")
+    if len(header) < _LEN.size:
+        header += _recv_exact(sock, _LEN.size - len(header))
+    (length,) = _LEN.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds maximum")
+    body = _recv_exact(sock, length)
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad message body: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message

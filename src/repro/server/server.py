@@ -1,0 +1,175 @@
+"""A threaded socket server wrapping one :class:`~repro.engine.Database`.
+
+One OS thread and one engine :class:`~repro.engine.session.Session` per
+connection — so every connection gets independent transaction state
+(``BEGIN``/``COMMIT``/``ROLLBACK``), shows up in ``sys_stat_activity``
+under its session id, and a dropped connection rolls its open
+transaction back.  The engine serializes statement bodies internally;
+concurrency still pays off because lock waits and COMMIT fsyncs happen
+outside the statement lock (group commit).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import List, Optional, Tuple
+
+from .protocol import ProtocolError, recv_message, send_message
+
+
+class DatabaseServer:
+    """Serve a database over TCP; ``port=0`` picks a free port."""
+
+    def __init__(self, db, host: str = "127.0.0.1", port: int = 0):
+        self.db = db
+        self.host = host
+        self.port = port
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._workers: List[threading.Thread] = []
+        self._conns: List[socket.socket] = []
+        self._guard = threading.Lock()
+        self._running = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._listener is None:
+            raise RuntimeError("server not started")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> "DatabaseServer":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        self._listener = listener
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        if self._listener is not None:
+            # shutdown() wakes a thread blocked in accept(); close() alone
+            # leaves it parked on the old fd until the join times out
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._guard:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        for worker in list(self._workers):
+            worker.join(timeout=5)
+
+    def __enter__(self) -> "DatabaseServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- connection handling ---------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            with self._guard:
+                self._conns.append(conn)
+            worker = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="repro-server-conn",
+                daemon=True,
+            )
+            self._workers.append(worker)
+            worker.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        session = self.db.create_session()
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            while True:
+                try:
+                    request = recv_message(conn)
+                except (ConnectionError, OSError):
+                    return
+                except ProtocolError as exc:
+                    self._send_safe(
+                        conn,
+                        {
+                            "ok": False,
+                            "error": str(exc),
+                            "error_type": "ProtocolError",
+                        },
+                    )
+                    return
+                if request.get("op") == "close":
+                    self._send_safe(conn, {"ok": True, "closed": True})
+                    return
+                sql = request.get("sql")
+                if not isinstance(sql, str):
+                    self._send_safe(
+                        conn,
+                        {
+                            "ok": False,
+                            "error": "request must carry a 'sql' string",
+                            "error_type": "ProtocolError",
+                        },
+                    )
+                    continue
+                self._send_safe(conn, self._run(session, sql))
+        finally:
+            session.close()  # rolls back any open transaction
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._guard:
+                if conn in self._conns:
+                    self._conns.remove(conn)
+
+    def _run(self, session, sql: str) -> dict:
+        try:
+            result = session.execute(sql)
+        except Exception as exc:  # engine errors travel as payloads
+            return {
+                "ok": False,
+                "error": str(exc),
+                "error_type": type(exc).__name__,
+            }
+        return {
+            "ok": True,
+            "columns": list(result.columns),
+            "rows": [list(row) for row in result.rows],
+            "in_transaction": session.in_transaction,
+        }
+
+    @staticmethod
+    def _send_safe(conn: socket.socket, message: dict) -> None:
+        try:
+            send_message(conn, message)
+        except (OSError, ProtocolError):
+            pass

@@ -2,7 +2,10 @@
 
 from .ast import (
     AnalyzeStmt,
+    BeginStmt,
+    CheckpointStmt,
     ColumnDef,
+    CommitStmt,
     CreateIndexStmt,
     CreateTableStmt,
     CreateViewStmt,
@@ -13,6 +16,7 @@ from .ast import (
     InsertStmt,
     JoinClause,
     OrderItem,
+    RollbackStmt,
     SelectItem,
     SelectStmt,
     Statement,
@@ -23,8 +27,11 @@ from .lexer import LexError, Token, tokenize
 from .parser import ParseError, parse, parse_expression
 
 __all__ = [
-    "AnalyzeStmt", "ColumnDef", "CreateIndexStmt", "CreateTableStmt",
-    "CreateViewStmt", "DeleteStmt", "DropTableStmt", "DropViewStmt", "ExplainStmt", "InsertStmt", "JoinClause", "OrderItem",
-    "SelectItem", "SelectStmt", "Statement", "TableRef", "UpdateStmt",
+    "AnalyzeStmt", "BeginStmt", "CheckpointStmt", "ColumnDef",
+    "CommitStmt", "CreateIndexStmt", "CreateTableStmt",
+    "CreateViewStmt", "DeleteStmt", "DropTableStmt", "DropViewStmt",
+    "ExplainStmt", "InsertStmt", "JoinClause", "OrderItem",
+    "RollbackStmt", "SelectItem", "SelectStmt", "Statement", "TableRef",
+    "UpdateStmt",
     "LexError", "Token", "tokenize", "ParseError", "parse", "parse_expression",
 ]

@@ -146,6 +146,26 @@ class AnalyzeStmt(Statement):
 
 
 @dataclass
+class BeginStmt(Statement):
+    """``BEGIN [TRANSACTION | WORK]`` — open an explicit transaction."""
+
+
+@dataclass
+class CommitStmt(Statement):
+    """``COMMIT [TRANSACTION | WORK]`` — make the open transaction durable."""
+
+
+@dataclass
+class RollbackStmt(Statement):
+    """``ROLLBACK [TRANSACTION | WORK]`` — undo the open transaction."""
+
+
+@dataclass
+class CheckpointStmt(Statement):
+    """``CHECKPOINT`` — snapshot the page store and truncate the WAL."""
+
+
+@dataclass
 class ExplainStmt(Statement):
     inner: SelectStmt
     analyze: bool = False

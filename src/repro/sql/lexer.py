@@ -18,7 +18,8 @@ KEYWORDS = {
     "NULL", "TRUE", "FALSE", "IS", "IN", "LIKE", "BETWEEN", "COUNT", "SUM",
     "AVG", "MIN", "MAX", "PRIMARY", "KEY", "DROP", "CROSS", "DELETE",
     "UPDATE", "SET", "EXISTS", "VIEW", "ANALYSE", "VERBOSE", "SEARCH",
-    "DIFF",
+    "DIFF", "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "WORK",
+    "CHECKPOINT",
 }
 
 SYMBOLS = [

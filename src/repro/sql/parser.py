@@ -34,7 +34,11 @@ from ..expr.nodes import (
 from ..types import parse_type
 from .ast import (
     AnalyzeStmt,
+    BeginStmt,
+    CheckpointStmt,
     ColumnDef,
+    CommitStmt,
+    RollbackStmt,
     CreateIndexStmt,
     CreateTableStmt,
     CreateViewStmt,
@@ -177,6 +181,17 @@ class _Parser:
             if self.current.kind == "IDENT":
                 return AnalyzeStmt(self.expect_ident())
             return AnalyzeStmt(None)
+        if self.accept_keyword("BEGIN"):
+            self.accept_keyword("TRANSACTION", "WORK")
+            return BeginStmt()
+        if self.accept_keyword("COMMIT"):
+            self.accept_keyword("TRANSACTION", "WORK")
+            return CommitStmt()
+        if self.accept_keyword("ROLLBACK"):
+            self.accept_keyword("TRANSACTION", "WORK")
+            return RollbackStmt()
+        if self.accept_keyword("CHECKPOINT"):
+            return CheckpointStmt()
         raise ParseError(f"unexpected {self.current}", self.current)
 
     def _explain_tail(self) -> ExplainStmt:

@@ -27,6 +27,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from ..qa import faults
 from .disk import DiskManager, PageId
 
 
@@ -133,6 +134,13 @@ class BufferPool:
         # formatting paths fix/unfix while already holding the lock).
         # Contended acquisitions are timed when a wait registry is attached.
         self._lock = _TimedRLock()
+        #: no-steal hook: ``evict_guard(page_id) -> bool`` vetoes evicting
+        #: pages dirtied by an active transaction (attached by the engine's
+        #: transaction manager; None = every unpinned frame is fair game)
+        self.evict_guard = None
+        #: WAL-before-data hook, called with the page id right before a
+        #: dirty frame's image goes down to disk
+        self.write_hook = None
 
     @property
     def waits(self):
@@ -248,15 +256,28 @@ class BufferPool:
         del self._frames[victim.page_id]
         self.stats.evictions += 1
 
+    def _evictable(self, frame: _Frame) -> bool:
+        if frame.pin_count > 0:
+            return False
+        # no-steal: a dirty page belonging to an in-flight transaction
+        # must not reach disk before that transaction resolves
+        if (
+            frame.dirty
+            and self.evict_guard is not None
+            and not self.evict_guard(frame.page_id)
+        ):
+            return False
+        return True
+
     def _choose_victim(self) -> _Frame:
         if self.policy is Replacement.CLOCK:
             return self._clock_victim()
         frames = list(self._frames.values())
         order = reversed(frames) if self.policy is Replacement.MRU else iter(frames)
         for frame in order:
-            if frame.pin_count == 0:
+            if self._evictable(frame):
                 return frame
-        raise BufferError_("all frames pinned; cannot evict")
+        raise BufferError_("all frames pinned or transaction-dirty; cannot evict")
 
     def _clock_victim(self) -> _Frame:
         frames = list(self._frames.values())
@@ -266,16 +287,19 @@ class BufferPool:
             frame = frames[self._clock_hand % n]
             self._clock_hand = (self._clock_hand + 1) % n
             sweeps += 1
-            if frame.pin_count > 0:
+            if not self._evictable(frame):
                 continue
             if frame.referenced:
                 frame.referenced = False
                 continue
             return frame
-        raise BufferError_("all frames pinned; cannot evict")
+        raise BufferError_("all frames pinned or transaction-dirty; cannot evict")
 
     def _writeback(self, frame: _Frame) -> None:
         if frame.dirty:
+            if self.write_hook is not None:
+                self.write_hook(frame.page_id)
+            action = faults.FAILPOINTS.hit("page.writeback")
             waits = self._lock.waits
             if waits is None:
                 self.disk.write_page(frame.page_id, bytes(frame.data))
@@ -285,6 +309,8 @@ class BufferPool:
                 waits.record("io.write", time.perf_counter() - start)
             frame.dirty = False
             self.stats.dirty_writebacks += 1
+            if action is not None:
+                faults.crash()
 
 
 class PageGuard:

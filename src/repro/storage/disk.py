@@ -141,6 +141,38 @@ class DiskManager:
         self.stats.writes += 1
         f.pages[page_no] = bytearray(data)
 
+    # -- snapshot/restore (checkpointing; bypasses the I/O counters) -------------
+
+    def page_images(self, file_id: int) -> List[bytearray]:
+        """Direct references to a file's page images, in page order.
+
+        Used by the checkpointer to stream a consistent snapshot (the
+        buffer pool is flushed first, and no transaction is in flight),
+        and by tests asserting byte-level page state.  Deliberately not
+        counted as reads: a checkpoint is maintenance, not query I/O.
+        """
+        return list(self._file(file_id).pages)
+
+    def restore_pages(self, file_id: int, images: List[bytes]) -> None:
+        """Replace a file's pages wholesale from snapshot *images*.
+
+        Recovery-only: installs a checkpoint's page images under a
+        freshly created (empty) file.  Not counted in the I/O stats —
+        recovery happens before any measured workload.
+        """
+        f = self._file(file_id)
+        if f.pages:
+            raise DiskError(
+                f"restore into non-empty file {f.name} ({len(f.pages)} pages)"
+            )
+        for image in images:
+            if len(image) != self.page_size:
+                raise DiskError(
+                    f"snapshot page is {len(image)} bytes, "
+                    f"expected {self.page_size}"
+                )
+            f.pages.append(bytearray(image))
+
     # -- metrics ----------------------------------------------------------------
 
     def reset_stats(self) -> None:

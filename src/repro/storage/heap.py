@@ -35,6 +35,11 @@ class HeapFile:
         # optimization — correctness never depends on it.
         self._insert_hint: Optional[int] = None
         self._num_rows = 0
+        #: transaction hooks (a ``repro.wal.TxnManager``), attached by the
+        #: catalog.  Each mutation reports itself so the active transaction
+        #: can log redo and record undo; with no active transaction the
+        #: hooks are no-ops (transient tables, recovery, undo itself).
+        self.hooks = None
 
     # -- geometry ---------------------------------------------------------------
 
@@ -63,6 +68,8 @@ class HeapFile:
             slot_no = SlottedPage(data).insert(record)
         self._insert_hint = page_no
         self._num_rows += 1
+        if self.hooks is not None:
+            self.hooks.on_insert(self.name, page_id, slot_no, record)
         return (page_no, slot_no)
 
     def insert_many(self, rows: Sequence[Sequence[Any]]) -> List[RID]:
@@ -72,10 +79,16 @@ class HeapFile:
         page_no, slot_no = rid
         self._check_page(page_no)
         with PageGuard(self.pool, (self.file_id, page_no), write=True) as data:
-            deleted = SlottedPage(data).delete(slot_no)
+            page = SlottedPage(data)
+            old = page.read(slot_no)
+            deleted = page.delete(slot_no)
         if deleted:
             self._num_rows -= 1
             self._insert_hint = None  # page gained space but needs compaction
+            if self.hooks is not None:
+                self.hooks.on_delete(
+                    self.name, (self.file_id, page_no), slot_no, old
+                )
         return deleted
 
     def update(self, rid: RID, row: Sequence[Any]) -> RID:
@@ -85,8 +98,15 @@ class HeapFile:
         page_no, slot_no = rid
         self._check_page(page_no)
         with PageGuard(self.pool, (self.file_id, page_no), write=True) as data:
-            if SlottedPage(data).update(slot_no, record):
-                return rid
+            page = SlottedPage(data)
+            old = page.read(slot_no)
+            updated = page.update(slot_no, record)
+        if updated:
+            if self.hooks is not None:
+                self.hooks.on_update(
+                    self.name, (self.file_id, page_no), slot_no, record, old
+                )
+            return rid
         self.delete(rid)
         return self.insert(row)
 
@@ -166,4 +186,91 @@ class HeapFile:
         SlottedPage.format(self.pool.fix(page_id))
         self.pool.unfix(page_id, dirty=True)
         self.pool.unfix(page_id, dirty=True)  # release new_page's pin too
+        if self.hooks is not None:
+            self.hooks.on_alloc(self.name, page_id)
         return page_no
+
+    # -- recovery / rollback entry points --------------------------------------
+    #
+    # The replay_* methods apply one physiological WAL record verbatim:
+    # no schema validation, no hooks (recovery and undo must never re-log),
+    # no free-space search — the record says exactly which page and slot.
+
+    def replay_alloc(self, page_no: int) -> None:
+        """Redo a page allocation.  Idempotent: a page the checkpoint
+        already contains is left alone."""
+        if page_no < self.num_pages:
+            return
+        if page_no != self.num_pages:
+            raise HeapError(
+                f"alloc replay out of order: want page {self.num_pages}, "
+                f"record says {page_no}"
+            )
+        page_id = self.pool.new_page(self.file_id)
+        SlottedPage.format(self.pool.fix(page_id))
+        self.pool.unfix(page_id, dirty=True)
+        self.pool.unfix(page_id, dirty=True)
+
+    def replay_insert(self, page_no: int, slot_no: int, record: bytes) -> None:
+        self._check_page(page_no)
+        with PageGuard(self.pool, (self.file_id, page_no), write=True) as data:
+            if not SlottedPage(data).place_at(slot_no, record):
+                raise HeapError(
+                    f"insert replay does not fit at ({page_no}, {slot_no})"
+                )
+        self._num_rows += 1
+
+    def replay_update(self, page_no: int, slot_no: int, record: bytes) -> None:
+        self._check_page(page_no)
+        with PageGuard(self.pool, (self.file_id, page_no), write=True) as data:
+            if not SlottedPage(data).update(slot_no, record):
+                raise HeapError(
+                    f"update replay does not fit at ({page_no}, {slot_no})"
+                )
+
+    def replay_delete(self, page_no: int, slot_no: int) -> None:
+        self._check_page(page_no)
+        with PageGuard(self.pool, (self.file_id, page_no), write=True) as data:
+            deleted = SlottedPage(data).delete(slot_no)
+        if deleted:
+            self._num_rows -= 1
+
+    def restore(self, rid: RID, row: Sequence[Any]) -> RID:
+        """Put a row back under its original RID (rollback's undo of a
+        delete).
+
+        Keeping the RID stable matters beyond index hygiene: redo records
+        written *after* a rollback address rows by (page, slot), so undo
+        must leave the committed rows where the log believes they are.
+        When the page's free region is too small, the page is compacted
+        first — the row's own tombstoned bytes are reclaimable dead
+        space, so after compaction it always fits.  The plain-insert
+        fallback is kept as a last resort for out-of-range pages.
+        """
+        stored = self.schema.validate_row(row)
+        record = serialize_row(self.schema, stored)
+        page_no, slot_no = rid
+        if 0 <= page_no < self.num_pages:
+            page_id = (self.file_id, page_no)
+            with PageGuard(self.pool, page_id, write=True) as data:
+                page = SlottedPage(data)
+                if not page.place_at(slot_no, record):
+                    page.compact()
+                    if not page.place_at(slot_no, record):
+                        raise HeapError(
+                            f"cannot restore row at ({page_no}, {slot_no}) "
+                            "even after compaction"
+                        )
+                self._num_rows += 1
+                return rid
+        return self.insert(row)
+
+    def recount(self) -> int:
+        """Recompute the cached row count from the pages (recovery's
+        authoritative pass after replay)."""
+        count = 0
+        for page_no in range(self.num_pages):
+            with PageGuard(self.pool, (self.file_id, page_no)) as data:
+                count += SlottedPage(data).live_count()
+        self._num_rows = count
+        return count

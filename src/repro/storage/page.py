@@ -83,16 +83,54 @@ class SlottedPage:
     # -- record operations -------------------------------------------------------------
 
     def insert(self, record: bytes) -> int:
-        """Insert a record, returning its slot number."""
+        """Insert a record, returning its slot number.
+
+        ``num_slots`` is published *last*: a concurrent reader that
+        observes the old slot count simply misses the new record, while
+        one that observes the new count finds a fully written slot entry
+        and record bytes — never a half-initialized slot.
+        """
         if not self.can_fit(len(record)):
             raise PageError("page full")
         slot_no = self.num_slots
         new_off = self.free_offset - len(record)
         self.data[new_off : new_off + len(record)] = record
-        self.num_slots = slot_no + 1
         self._set_slot(slot_no, new_off, len(record))
         self.free_offset = new_off
+        self.num_slots = slot_no + 1
         return slot_no
+
+    def place_at(self, slot_no: int, record: bytes) -> bool:
+        """Place *record* at exactly *slot_no*, extending the slot
+        directory with tombstones if needed.  Returns False when the page
+        lacks space (caller falls back to a fresh insert elsewhere).
+
+        Two callers need exact slot placement: WAL redo (a committed
+        insert's RID must come back identical even when interleaved
+        uncommitted inserts — which are *not* replayed — consumed the
+        slots in between) and rollback's undo-of-delete (restoring the
+        row under its original RID keeps undo idempotent).
+        """
+        current = self.num_slots
+        if slot_no < current:
+            offset, length = self._slot(slot_no)
+            if length != TOMBSTONE:
+                raise PageError(f"slot {slot_no} already occupied")
+            new_slots = 0
+        else:
+            new_slots = slot_no + 1 - current
+        slots_end = HEADER_SIZE + (current + new_slots) * SLOT_SIZE
+        if self.free_offset - slots_end < len(record):
+            return False
+        for filler in range(current, current + new_slots):
+            self._set_slot(filler, 0, TOMBSTONE)
+        new_off = self.free_offset - len(record)
+        self.data[new_off : new_off + len(record)] = record
+        self._set_slot(slot_no, new_off, len(record))
+        self.free_offset = new_off
+        if new_slots:
+            self.num_slots = current + new_slots
+        return True
 
     def read(self, slot_no: int) -> Optional[bytes]:
         """Record bytes, or ``None`` for a tombstone."""

@@ -1,0 +1,66 @@
+"""Durability subsystem: write-ahead logging, checkpoints, recovery.
+
+The simulated disk lives in memory, so durability is *snapshot + log*:
+an opt-in ``Database(data_dir=...)`` opens a real on-disk WAL
+(:mod:`.log`, record format in :mod:`.records`), snapshots the page
+store atomically on CHECKPOINT (:mod:`.checkpoint`), and replays the
+committed WAL suffix on open (:mod:`.recovery`).  The transaction
+manager (:mod:`.manager`) is the engine-facing seam: transaction
+lifecycle, logical undo on rollback, strict table write locks, and the
+per-mutation hooks that emit redo records.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_FILE,
+    CheckpointError,
+    checkpoint_path,
+    load_checkpoint,
+    write_checkpoint,
+)
+from .log import (
+    WAL_FILE,
+    WalWriter,
+    committed_txns,
+    open_wal,
+    read_wal,
+    truncate_wal,
+)
+from .manager import LockTimeout, Transaction, TxnError, TxnManager
+from .records import (
+    WalCodecError,
+    WalRecord,
+    WalRecordType,
+    decode_record,
+    encode_record,
+    iter_records,
+    valid_prefix,
+)
+from .recovery import RecoveryError, RecoveryReport, recover
+
+__all__ = [
+    "CHECKPOINT_FILE",
+    "CheckpointError",
+    "checkpoint_path",
+    "load_checkpoint",
+    "write_checkpoint",
+    "WAL_FILE",
+    "WalWriter",
+    "committed_txns",
+    "open_wal",
+    "read_wal",
+    "truncate_wal",
+    "LockTimeout",
+    "Transaction",
+    "TxnError",
+    "TxnManager",
+    "WalCodecError",
+    "WalRecord",
+    "WalRecordType",
+    "decode_record",
+    "encode_record",
+    "iter_records",
+    "valid_prefix",
+    "RecoveryError",
+    "RecoveryReport",
+    "recover",
+]

@@ -1,0 +1,435 @@
+"""Transaction manager: txn lifecycle, undo, table locks, WAL hooks.
+
+This is the seam between the engine and durability.  It works with or
+without a WAL writer attached:
+
+* **Always** (even for a purely in-memory database): transaction ids,
+  per-transaction *undo* logs (logical inverse operations applied on
+  ROLLBACK, with index maintenance), strict table write locks held to
+  transaction end, shared statement-scoped read locks, and the
+  no-steal eviction guard.
+* **With a writer** (``Database(data_dir=...)``): every heap mutation is
+  also appended to the WAL as a physiological redo record, COMMIT
+  fsyncs (group-batched), and dirty pages are tracked with the LSN of
+  their latest record so the buffer pool can enforce WAL-before-data on
+  writeback.
+
+Concurrency model (documented in docs/RECOVERY.md): writers take a
+table-exclusive lock at first touch and hold it to COMMIT/ROLLBACK
+(strict two-phase locking), so a transaction's uncommitted rows are
+never read *or overwritten* by another writer.  Readers take shared
+per-statement locks, so a SELECT never observes a page mid-mutation and
+sees only committed data (read-committed at statement granularity).
+Lock waits are bounded by ``lock_timeout`` — a timeout aborts the
+waiting statement rather than deadlocking.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from .log import WalWriter
+from .records import WalRecordType
+
+PageId = Tuple[int, int]
+
+
+class TxnError(Exception):
+    """Transaction protocol violations (nested BEGIN, DDL in txn, ...)."""
+
+
+class LockTimeout(TxnError):
+    """A table lock could not be acquired within ``lock_timeout``."""
+
+
+@dataclass
+class Transaction:
+    """One transaction's book-keeping."""
+
+    id: int
+    session_id: int = 0
+    explicit: bool = False
+    #: logical inverse ops, applied in reverse on rollback
+    undo: List[Tuple[Any, ...]] = field(default_factory=list)
+    #: table -> number of writes this txn made (applied to the engine's
+    #: write epochs at COMMIT, discarded at ROLLBACK)
+    pending_epochs: Dict[str, int] = field(default_factory=dict)
+    locked_tables: Set[str] = field(default_factory=set)
+    #: True once this txn has appended at least one WAL record
+    logged: bool = False
+
+
+class _TableLock:
+    """A reader-writer lock with writer owner tracking."""
+
+    __slots__ = ("cond", "readers", "writer", "writer_waiting")
+
+    def __init__(self) -> None:
+        self.cond = threading.Condition()
+        self.readers = 0
+        self.writer: Optional[int] = None  # owning txn id
+        self.writer_waiting = 0
+
+
+class TxnManager:
+    """Transaction lifecycle + locking + (optional) WAL logging."""
+
+    def __init__(
+        self,
+        writer: Optional[WalWriter] = None,
+        waits=None,
+        lock_timeout: float = 10.0,
+    ):
+        self.writer = writer
+        self.waits = waits
+        self.lock_timeout = lock_timeout
+        self._next_txn_id = 1
+        self._id_lock = threading.Lock()
+        self._tls = threading.local()
+        self._locks: Dict[str, _TableLock] = {}
+        self._locks_guard = threading.Lock()
+        #: dirty page -> (owning active txn id, LSN of its latest record);
+        #: the buffer pool's no-steal guard consults this
+        self._page_txn: Dict[PageId, Tuple[int, int]] = {}
+        self._page_guard = threading.Lock()
+
+    # -- txn lifecycle --------------------------------------------------------
+
+    @property
+    def next_txn_id(self) -> int:
+        return self._next_txn_id
+
+    def set_next_txn_id(self, value: int) -> None:
+        with self._id_lock:
+            self._next_txn_id = max(self._next_txn_id, value)
+
+    def begin(self, session_id: int = 0, explicit: bool = False) -> Transaction:
+        with self._id_lock:
+            txn_id = self._next_txn_id
+            self._next_txn_id += 1
+        return Transaction(txn_id, session_id, explicit)
+
+    def current(self) -> Optional[Transaction]:
+        """The transaction active on *this thread*, if any."""
+        return getattr(self._tls, "txn", None)
+
+    def activate(self, txn: Optional[Transaction]) -> "_Activation":
+        """Context manager binding *txn* to the current thread, so heap
+        mutations on this thread log/undo under it."""
+        return _Activation(self._tls, txn)
+
+    def commit(self, txn: Transaction) -> None:
+        """Make *txn* durable (WAL COMMIT + fsync) and release its locks."""
+        if self.writer is not None and txn.logged:
+            lsn = self.writer.append(WalRecordType.COMMIT, txn.id)
+            self.writer.flush_to(lsn)
+        self._finish(txn)
+
+    def rollback(self, txn: Transaction, catalog) -> None:
+        """Undo every change *txn* made, then release its locks.
+
+        Undo runs with no transaction bound to the thread, so the
+        compensating heap mutations are neither WAL-logged nor re-undone
+        — recovery never redoes an uncommitted transaction, so its
+        compensations must not be redone either.
+        """
+        with self.activate(None):
+            for op in reversed(txn.undo):
+                self._undo_one(catalog, op)
+        txn.undo.clear()
+        txn.pending_epochs.clear()
+        if self.writer is not None and txn.logged:
+            self.writer.append(WalRecordType.ABORT, txn.id)
+        self._finish(txn)
+
+    def _finish(self, txn: Transaction) -> None:
+        with self._page_guard:
+            doomed = [
+                pid
+                for pid, (owner, _) in self._page_txn.items()
+                if owner == txn.id
+            ]
+            for pid in doomed:
+                del self._page_txn[pid]
+        for table in sorted(txn.locked_tables):
+            self._release_write(txn, table)
+        txn.locked_tables.clear()
+
+    # -- undo -----------------------------------------------------------------
+
+    @staticmethod
+    def _index_key(info, row, index) -> Any:
+        positions = [info.schema.index_of(c) for c in index.columns]
+        if len(positions) == 1:
+            return row[positions[0]]
+        return tuple(row[p] for p in positions)
+
+    def _undo_one(self, catalog, op: Tuple[Any, ...]) -> None:
+        from ..storage.record import deserialize_row
+
+        kind, table = op[0], op[1]
+        if not catalog.has_table(table):
+            return  # table dropped after the write (DDL autocommits)
+        info = catalog.table(table)
+        if kind == "insert":
+            _, _, rid = op
+            row = info.heap.fetch(rid)
+            if row is None:
+                return
+            info.heap.delete(rid)
+            self._index_remove(info, row, rid)
+        elif kind == "delete":
+            _, _, rid, old_bytes = op
+            row = deserialize_row(info.schema, old_bytes)
+            new_rid = info.heap.restore(rid, row)
+            if info.zones is not None:
+                info.zones.widen(new_rid[0], row)
+            self._index_add(info, row, new_rid)
+        elif kind == "update":
+            # an in-place update: the current (new) row sits at *rid*.
+            # Tombstone + restore keeps the RID stable even when the old
+            # record is longer than the shrunk slot footprint.
+            _, _, rid, old_bytes = op
+            old_row = deserialize_row(info.schema, old_bytes)
+            new_row = info.heap.fetch(rid)
+            if new_row is not None:
+                self._index_remove(info, new_row, rid)
+                info.heap.delete(rid)
+            restored = info.heap.restore(rid, old_row)
+            if info.zones is not None:
+                info.zones.widen(restored[0], old_row)
+            self._index_add(info, old_row, restored)
+        else:  # pragma: no cover - defensive
+            raise TxnError(f"unknown undo op {kind!r}")
+
+    def _index_add(self, info, row, rid) -> None:
+        from ..catalog import IndexKind
+
+        for index in info.indexes.values():
+            value = self._index_key(info, row, index)
+            if value is None and index.kind is IndexKind.HASH:
+                continue
+            index.structure.insert(value, rid)
+
+    def _index_remove(self, info, row, rid) -> None:
+        from ..catalog import IndexKind
+
+        for index in info.indexes.values():
+            value = self._index_key(info, row, index)
+            if value is None and index.kind is IndexKind.HASH:
+                continue
+            index.structure.delete(value, rid)
+
+    # -- mutation hooks (called by HeapFile under an active transaction) ------
+    #
+    # Each hook does two jobs: record the logical *undo* op on the active
+    # transaction (needed with or without a WAL — rollback is always
+    # supported), and, when a writer is attached, append the physiological
+    # *redo* record.  With no transaction bound to the thread (transient
+    # tables, recovery replay, undo itself) the hooks are no-ops.
+
+    def _ensure_begin(self, txn: Transaction) -> None:
+        if not txn.logged:
+            txn.logged = True
+            self.writer.append(WalRecordType.BEGIN, txn.id)
+
+    def _note_page(self, txn: Transaction, page_id: PageId, lsn: int) -> None:
+        with self._page_guard:
+            self._page_txn[page_id] = (txn.id, lsn)
+
+    def on_alloc(self, table: str, page_id: PageId) -> None:
+        txn = self.current()
+        if txn is None:
+            return
+        # no undo: page allocation is physical and non-transactional
+        # (rollback tombstones rows but keeps the page)
+        if self.writer is not None:
+            self._ensure_begin(txn)
+            lsn = self.writer.append(
+                WalRecordType.ALLOC, txn.id, table, page_id[1]
+            )
+            self._note_page(txn, page_id, lsn)
+
+    def on_insert(
+        self, table: str, page_id: PageId, slot_no: int, record: bytes
+    ) -> None:
+        txn = self.current()
+        if txn is None:
+            return
+        txn.undo.append(("insert", table, (page_id[1], slot_no)))
+        if self.writer is not None:
+            self._ensure_begin(txn)
+            lsn = self.writer.append(
+                WalRecordType.INSERT, txn.id, table, page_id[1], slot_no, record
+            )
+            self._note_page(txn, page_id, lsn)
+
+    def on_update(
+        self,
+        table: str,
+        page_id: PageId,
+        slot_no: int,
+        record: bytes,
+        old_record: bytes,
+    ) -> None:
+        txn = self.current()
+        if txn is None:
+            return
+        txn.undo.append(("update", table, (page_id[1], slot_no), old_record))
+        if self.writer is not None:
+            self._ensure_begin(txn)
+            lsn = self.writer.append(
+                WalRecordType.UPDATE, txn.id, table, page_id[1], slot_no, record
+            )
+            self._note_page(txn, page_id, lsn)
+
+    def on_delete(
+        self, table: str, page_id: PageId, slot_no: int, old_record: bytes
+    ) -> None:
+        txn = self.current()
+        if txn is None:
+            return
+        txn.undo.append(("delete", table, (page_id[1], slot_no), old_record))
+        if self.writer is not None:
+            self._ensure_begin(txn)
+            lsn = self.writer.append(
+                WalRecordType.DELETE, txn.id, table, page_id[1], slot_no
+            )
+            self._note_page(txn, page_id, lsn)
+
+    def log_ddl(self, payload: bytes) -> None:
+        """Log one autocommitted DDL statement under the current txn."""
+        txn = self.current()
+        if txn is None or self.writer is None:
+            return
+        self._ensure_begin(txn)
+        self.writer.append(WalRecordType.DDL, txn.id, payload=payload)
+
+    # -- buffer-pool integration (no-steal, WAL-before-data) ------------------
+
+    def may_evict(self, page_id: PageId) -> bool:
+        """No-steal: a page dirtied by an *active* transaction must stay
+        in the pool until that transaction resolves."""
+        with self._page_guard:
+            return page_id not in self._page_txn
+
+    def before_page_write(self, page_id: PageId) -> None:
+        """WAL-before-data: the log must be durable up to the LSN of the
+        page's latest record before the page image goes down."""
+        if self.writer is None:
+            return
+        with self._page_guard:
+            entry = self._page_txn.get(page_id)
+        if entry is not None:
+            self.writer.flush_to(entry[1])
+
+    # -- table locks ----------------------------------------------------------
+
+    def _lock_for(self, table: str) -> _TableLock:
+        key = table.lower()
+        with self._locks_guard:
+            lock = self._locks.get(key)
+            if lock is None:
+                lock = self._locks[key] = _TableLock()
+            return lock
+
+    def _timed_wait(self, lock: _TableLock, ready, table: str) -> None:
+        """Wait on *lock.cond* until ``ready()``; record contended time."""
+        deadline = time.monotonic() + self.lock_timeout
+        start = time.monotonic()
+        try:
+            while not ready():
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise LockTimeout(
+                        f"timeout waiting for lock on table {table!r} "
+                        f"({self.lock_timeout:.0f}s)"
+                    )
+                lock.cond.wait(min(remaining, 0.5))
+        finally:
+            waited = time.monotonic() - start
+            if self.waits is not None and waited > 0.0005:
+                self.waits.record("lock.table", waited)
+
+    def lock_table(self, txn: Transaction, table: str) -> None:
+        """Acquire *table* exclusively for *txn* (held until txn end)."""
+        key = table.lower()
+        if key in txn.locked_tables:
+            return
+        lock = self._lock_for(key)
+        with lock.cond:
+            lock.writer_waiting += 1
+            try:
+                self._timed_wait(
+                    lock,
+                    lambda: lock.writer is None and lock.readers == 0,
+                    table,
+                )
+                lock.writer = txn.id
+            finally:
+                lock.writer_waiting -= 1
+        txn.locked_tables.add(key)
+
+    def _release_write(self, txn: Transaction, table: str) -> None:
+        lock = self._lock_for(table)
+        with lock.cond:
+            if lock.writer == txn.id:
+                lock.writer = None
+                lock.cond.notify_all()
+
+    def lock_tables_shared(
+        self, tables, txn: Optional[Transaction] = None
+    ) -> List[str]:
+        """Statement-scoped shared locks for a reader.  Returns the keys
+        to pass to :meth:`unlock_shared`.  A reader inside a transaction
+        that holds the write lock passes through (it reads its own
+        uncommitted rows); pass *txn* explicitly for readers that run
+        without thread activation (the SELECT path)."""
+        if txn is None:
+            txn = self.current()
+        acquired: List[str] = []
+        try:
+            for table in sorted({t.lower() for t in tables}):
+                lock = self._lock_for(table)
+                with lock.cond:
+                    if txn is not None and lock.writer == txn.id:
+                        continue  # our own write lock covers the read
+                    self._timed_wait(
+                        lock, lambda lk=lock: lk.writer is None, table
+                    )
+                    lock.readers += 1
+                acquired.append(table)
+        except BaseException:
+            self.unlock_shared(acquired)
+            raise
+        return acquired
+
+    def unlock_shared(self, acquired: List[str]) -> None:
+        for table in acquired:
+            lock = self._lock_for(table)
+            with lock.cond:
+                lock.readers -= 1
+                if lock.readers == 0:
+                    lock.cond.notify_all()
+
+
+class _Activation:
+    """Bind/unbind a transaction to the current thread."""
+
+    __slots__ = ("_tls", "_txn", "_prev")
+
+    def __init__(self, tls, txn: Optional[Transaction]):
+        self._tls = tls
+        self._txn = txn
+        self._prev: Optional[Transaction] = None
+
+    def __enter__(self) -> Optional[Transaction]:
+        self._prev = getattr(self._tls, "txn", None)
+        self._tls.txn = self._txn
+        return self._txn
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tls.txn = self._prev

@@ -218,3 +218,56 @@ class TestCacheObservability:
         feedback0 = len(db.feedback)
         db.query(QUERY)  # result-cache hit: stale actuals must not leak
         assert len(db.feedback) == feedback0
+
+
+class TestTransactionResultCache:
+    """Transaction boundaries and the result cache: rolled-back writes
+    must never invalidate (or poison) what other sessions see, and a
+    session must never be served rows that hide its own pending writes."""
+
+    def test_rolled_back_write_keeps_entry(self):
+        db = make_db(result_cache=True)
+        first = db.query(QUERY)
+        s = db.create_session()
+        s.execute("BEGIN")
+        s.execute("INSERT INTO t VALUES (1000, 3)")
+        s.execute("ROLLBACK")
+        again = db.query(QUERY)
+        assert db.result_cache.stats.hits == 1  # entry survived the abort
+        assert again.rows == first.rows
+
+    def test_own_pending_write_overlays_lookup(self):
+        db = make_db(result_cache=True)
+        db.query(QUERY)  # cached: v=3 -> 45
+        s = db.create_session()
+        s.execute("BEGIN")
+        s.execute("INSERT INTO t VALUES (1000, 3)")
+        mine = s.query(QUERY)
+        assert dict(mine.rows)[3] == 46  # own write visible, not stale rows
+        s.execute("ROLLBACK")
+        other = db.query(QUERY)
+        assert dict(other.rows)[3] == 45
+        assert db.result_cache.stats.hits == 1  # original entry still valid
+
+    def test_uncommitted_rows_never_stored_for_others(self):
+        db = make_db(result_cache=True)
+        s = db.create_session()
+        s.execute("BEGIN")
+        s.execute("INSERT INTO t VALUES (1000, 3)")
+        mine = s.query(QUERY)
+        assert dict(mine.rows)[3] == 46
+        s.execute("ROLLBACK")
+        other = db.query(QUERY)  # a hit here would serve aborted rows
+        assert db.result_cache.stats.hits == 0
+        assert dict(other.rows)[3] == 45
+
+    def test_commit_invalidates_for_everyone(self):
+        db = make_db(result_cache=True)
+        db.query(QUERY)
+        s = db.create_session()
+        s.execute("BEGIN")
+        s.execute("INSERT INTO t VALUES (1000, 3)")
+        s.execute("COMMIT")
+        result = db.query(QUERY)
+        assert db.result_cache.stats.hits == 0
+        assert dict(result.rows)[3] == 46

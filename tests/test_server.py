@@ -1,0 +1,149 @@
+"""Socket server + client: wire protocol, per-connection sessions,
+transaction isolation, error relay, and rollback-on-disconnect.
+
+The server binds 127.0.0.1 on an ephemeral port; each test builds its own
+Database + DatabaseServer and talks to it through the thin Client.
+"""
+
+import socket
+import struct
+
+import pytest
+
+from repro import Database
+from repro.server import (
+    Client,
+    DatabaseServer,
+    ProtocolError,
+    ServerError,
+    recv_message,
+    send_message,
+)
+
+
+@pytest.fixture()
+def served():
+    db = Database()
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    db.execute("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+    with DatabaseServer(db) as server:
+        yield db, server
+
+
+def connect(server, **kwargs):
+    host, port = server.address
+    return Client(host, port, **kwargs)
+
+
+class TestProtocol:
+    def test_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            send_message(a, {"op": "query", "sql": "SELECT 1"})
+            assert recv_message(b) == {"op": "query", "sql": "SELECT 1"}
+        finally:
+            a.close()
+            b.close()
+
+    def test_disconnect_raises_connection_error(self):
+        a, b = socket.socketpair()
+        a.close()
+        with pytest.raises(ConnectionError):
+            recv_message(b)
+        b.close()
+
+    def test_oversized_message_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", 2**31))
+            with pytest.raises(ProtocolError):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestServer:
+    def test_query_round_trip(self, served):
+        _, server = served
+        with connect(server) as client:
+            result = client.query("SELECT id, v FROM t ORDER BY id")
+            assert result.columns == ["id", "v"]
+            assert result.rows == [(1, 10), (2, 20), (3, 30)]
+            assert result.rowcount == 3
+            assert not result.in_transaction
+
+    def test_dml_and_transaction_state(self, served):
+        _, server = served
+        with connect(server) as client:
+            client.execute("BEGIN")
+            result = client.execute("INSERT INTO t VALUES (4, 40)")
+            assert result.in_transaction
+            result = client.execute("COMMIT")
+            assert not result.in_transaction
+            assert client.query("SELECT COUNT(*) FROM t").rows == [(4,)]
+
+    def test_error_relayed_with_type(self, served):
+        _, server = served
+        with connect(server) as client:
+            with pytest.raises(ServerError) as exc:
+                client.query("SELECT * FROM missing")
+            assert "missing" in str(exc.value)
+            assert exc.value.error_type
+            # the connection survives an error
+            assert client.query("SELECT id FROM t WHERE id = 1").rows == [(1,)]
+
+    def test_sessions_are_independent(self, served):
+        db, server = served
+        with connect(server) as c1, connect(server) as c2:
+            c1.execute("BEGIN")
+            probe = "SELECT id FROM t WHERE id = 1"
+            assert c1.execute(probe).in_transaction
+            assert not c2.execute(probe).in_transaction
+            c1.execute("ROLLBACK")
+
+    def test_disconnect_rolls_back_open_txn(self, served):
+        db, server = served
+        client = connect(server)
+        client.execute("BEGIN")
+        client.execute("DELETE FROM t WHERE id > 0")
+        client.close()  # dropped connection: server must roll back
+        # poll until the server thread finishes the cleanup
+        import time
+
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            if len(db.sessions()) == 1:  # only the default session left
+                break
+            time.sleep(0.01)
+        assert db.query("SELECT COUNT(*) FROM t").rows == [(3,)]
+
+    def test_sessions_appear_in_activity(self, served):
+        db, server = served
+        with connect(server) as client:
+            client.execute("BEGIN")
+            client.execute("INSERT INTO t VALUES (9, 90)")
+            rows = db.query(
+                "SELECT session_id, state FROM sys_stat_activity"
+            ).rows
+            states = {state for _, state in rows}
+            assert "idle in transaction" in states
+            client.execute("ROLLBACK")
+
+    def test_malformed_request_gets_error_reply(self, served):
+        _, server = served
+        host, port = server.address
+        sock = socket.create_connection((host, port), timeout=5)
+        try:
+            send_message(sock, {"op": "query"})  # no "sql"
+            reply = recv_message(sock)
+            assert reply["ok"] is False
+        finally:
+            sock.close()
+
+    def test_server_stop_is_idempotent(self):
+        db = Database()
+        server = DatabaseServer(db)
+        server.start()
+        server.stop()
+        server.stop()

@@ -1,0 +1,201 @@
+"""Transaction semantics: BEGIN/COMMIT/ROLLBACK, rollback fidelity,
+session lifecycle, lock timeouts, and durable commit/rollback.
+
+Rollback here is *logical undo* (repro.wal.manager): every heap mutation
+records a compensating op, and ROLLBACK replays them in reverse —
+restoring rows at stable RIDs, secondary indexes, and zone maps.  These
+tests pin the user-visible contract; the crash-side contract lives in
+test_crash_recovery.py.
+"""
+
+import pytest
+
+from repro import Database, EngineError
+from repro.wal import LockTimeout
+
+
+def make_db(**kwargs):
+    db = Database(**kwargs)
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT, s TEXT)")
+    db.execute(
+        "INSERT INTO t VALUES "
+        + ", ".join(f"({i}, {i * 10}, 'r{i}')" for i in range(1, 6))
+    )
+    return db
+
+
+def all_rows(db_or_session):
+    return db_or_session.query("SELECT id, v, s FROM t ORDER BY id").rows
+
+
+BASELINE = [(i, i * 10, f"r{i}") for i in range(1, 6)]
+
+
+class TestExplicitTransactions:
+    def test_commit_publishes_changes(self):
+        db = make_db()
+        with db.create_session() as s:
+            s.execute("BEGIN")
+            assert s.in_transaction
+            s.execute("INSERT INTO t VALUES (6, 60, 'r6')")
+            s.execute("UPDATE t SET v = 999 WHERE id = 1")
+            s.execute("COMMIT")
+            assert not s.in_transaction
+        rows = all_rows(db)
+        assert (6, 60, "r6") in rows
+        assert rows[0] == (1, 999, "r1")
+
+    def test_rollback_restores_rows(self):
+        db = make_db()
+        with db.create_session() as s:
+            s.execute("BEGIN")
+            s.execute("INSERT INTO t VALUES (6, 60, 'r6')")
+            s.execute("UPDATE t SET v = -1, s = 'gone' WHERE id <= 3")
+            s.execute("DELETE FROM t WHERE id = 5")
+            s.execute("ROLLBACK")
+            assert not s.in_transaction
+        assert all_rows(db) == BASELINE
+
+    def test_own_changes_visible_before_commit(self):
+        db = make_db()
+        with db.create_session() as s:
+            s.execute("BEGIN")
+            s.execute("DELETE FROM t WHERE id = 2")
+            s.execute("INSERT INTO t VALUES (7, 70, 'r7')")
+            rows = all_rows(s)
+            assert (2, 20, "r2") not in rows
+            assert (7, 70, "r7") in rows
+            s.execute("ROLLBACK")
+
+    def test_rollback_restores_secondary_index(self):
+        db = make_db()
+        db.execute("CREATE INDEX idx_v ON t (v)")
+        with db.create_session() as s:
+            s.execute("BEGIN")
+            s.execute("DELETE FROM t WHERE v = 30")
+            s.execute("UPDATE t SET v = 12345 WHERE id = 4")
+            s.execute("ROLLBACK")
+        # index-driven point lookups must see the restored entries
+        assert db.query("SELECT id FROM t WHERE v = 30").rows == [(3,)]
+        assert db.query("SELECT id FROM t WHERE v = 40").rows == [(4,)]
+        assert db.query("SELECT id FROM t WHERE v = 12345").rows == []
+
+    def test_rollback_keeps_range_scans_correct(self):
+        db = make_db()
+        db.execute("ANALYZE t")
+        with db.create_session() as s:
+            s.execute("BEGIN")
+            s.execute("INSERT INTO t VALUES (1000, 100000, 'big')")
+            s.execute("DELETE FROM t WHERE id = 1")
+            s.execute("ROLLBACK")
+        assert db.query("SELECT id FROM t WHERE id < 100").rows == [
+            (i,) for i in range(1, 6)
+        ]
+        assert db.query("SELECT COUNT(*) FROM t WHERE v >= 10").rows == [(5,)]
+
+    def test_nested_begin_rejected(self):
+        db = make_db()
+        with db.create_session() as s:
+            s.execute("BEGIN")
+            with pytest.raises(EngineError, match="already in a transaction"):
+                s.execute("BEGIN")
+            s.execute("ROLLBACK")
+
+    def test_commit_rollback_outside_txn_are_noops(self):
+        db = make_db()
+        db.execute("COMMIT")
+        db.execute("ROLLBACK")
+        assert all_rows(db) == BASELINE
+
+    def test_ddl_inside_txn_rejected(self):
+        db = make_db()
+        with db.create_session() as s:
+            s.execute("BEGIN")
+            with pytest.raises(EngineError, match="autocommit"):
+                s.execute("CREATE TABLE u (a INT)")
+            with pytest.raises(EngineError, match="autocommit"):
+                s.execute("CREATE INDEX idx ON t (v)")
+            s.execute("ROLLBACK")
+
+    def test_failed_statement_aborts_txn(self):
+        db = make_db()
+        with db.create_session() as s:
+            s.execute("BEGIN")
+            s.execute("INSERT INTO t VALUES (6, 60, 'r6')")
+            with pytest.raises(EngineError):
+                # non-constant INSERT values fail mid-execution
+                s.execute("INSERT INTO t VALUES (id, 0, 'x')")
+            assert not s.in_transaction
+        assert all_rows(db) == BASELINE
+
+    def test_session_close_rolls_back(self):
+        db = make_db()
+        s = db.create_session()
+        s.execute("BEGIN")
+        s.execute("DELETE FROM t WHERE id > 0")
+        s.close()
+        assert all_rows(db) == BASELINE
+
+    def test_autocommit_failure_rolls_back_statement(self):
+        db = make_db()
+        with pytest.raises(EngineError):
+            db.execute("INSERT INTO t VALUES (6, 60, 'a'), (7, v, 'b')")
+        assert all_rows(db) == BASELINE
+
+
+class TestLocking:
+    def test_write_lock_times_out(self):
+        db = make_db()
+        db.txn.lock_timeout = 0.2
+        s1 = db.create_session()
+        s2 = db.create_session()
+        s1.execute("BEGIN")
+        s1.execute("UPDATE t SET v = 0 WHERE id = 1")
+        with pytest.raises(LockTimeout):
+            s2.execute("INSERT INTO t VALUES (6, 60, 'r6')")
+        s1.execute("ROLLBACK")
+        # lock released: the same statement now succeeds
+        s2.execute("INSERT INTO t VALUES (6, 60, 'r6')")
+        assert (6, 60, "r6") in all_rows(db)
+        s1.close()
+        s2.close()
+
+    def test_read_blocks_on_writer_lock(self):
+        db = make_db()
+        db.txn.lock_timeout = 0.2
+        s1 = db.create_session()
+        s2 = db.create_session()
+        s1.execute("BEGIN")
+        s1.execute("DELETE FROM t WHERE id = 1")
+        with pytest.raises(LockTimeout):
+            s2.query("SELECT COUNT(*) FROM t")
+        s1.execute("COMMIT")
+        assert s2.query("SELECT COUNT(*) FROM t").rows == [(4,)]
+        s1.close()
+        s2.close()
+
+
+class TestDurableTransactions:
+    def test_committed_txn_survives_reopen(self, tmp_path):
+        data_dir = str(tmp_path / "db")
+        db = make_db(data_dir=data_dir)
+        with db.create_session() as s:
+            s.execute("BEGIN")
+            s.execute("INSERT INTO t VALUES (6, 60, 'r6')")
+            s.execute("COMMIT")
+        db.close()
+
+        with Database(data_dir=data_dir) as db2:
+            assert all_rows(db2) == BASELINE + [(6, 60, "r6")]
+
+    def test_rolled_back_txn_leaves_no_trace(self, tmp_path):
+        data_dir = str(tmp_path / "db")
+        db = make_db(data_dir=data_dir)
+        with db.create_session() as s:
+            s.execute("BEGIN")
+            s.execute("UPDATE t SET v = -1 WHERE id > 0")
+            s.execute("ROLLBACK")
+        db.close()
+
+        with Database(data_dir=data_dir) as db2:
+            assert all_rows(db2) == BASELINE
