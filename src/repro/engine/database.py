@@ -71,6 +71,7 @@ from ..sql import (
     UpdateStmt,
     parse,
 )
+from ..qa import faults
 from ..wal import (
     RecoveryReport,
     Transaction,
@@ -129,6 +130,7 @@ class Database:
         columnar: bool = False,
         data_dir: Optional[str] = None,
         wal_sync: bool = True,
+        mvcc: bool = True,
     ):
         self.disk = DiskManager(page_size)
         self.pool = BufferPool(self.disk, buffer_pages, replacement)
@@ -139,6 +141,15 @@ class Database:
         self.catalog.txn = self.txn
         self.pool.evict_guard = self.txn.may_evict
         self.pool.write_hook = self.txn.before_page_write
+        self.pool.clean_hook = self.txn.page_clean
+        #: snapshot-isolated reads (SELECTs run lock-free against a commit-
+        #: timestamp read view); ``mvcc=False`` falls back to statement-
+        #: scoped shared table locks (readers block on writers)
+        self.mvcc = mvcc
+        #: the snapshot of the statement currently inside ``_stmt_lock``;
+        #: nested internal selects (view materialization, subqueries)
+        #: inherit it so one statement reads one consistent view
+        self._active_snapshot = None
         self.work_mem_pages = work_mem_pages
         self.batch_size = batch_size
         #: run queries through the columnar batch engine (ColumnBatch
@@ -530,6 +541,8 @@ class Database:
         if isinstance(stmt, DropTableStmt):
             self._invalidate_caches("DROP TABLE")
             self.catalog.drop_table(stmt.table)
+            # a later table reusing the name must not inherit stale chains
+            self.txn.versions.drop_table(stmt.table)
             return QueryResult(rows=[], columns=[])
         if isinstance(stmt, CreateViewStmt):
             key = stmt.name.lower()
@@ -1021,6 +1034,7 @@ class Database:
         cold: bool = False,
         analyze: bool = False,
         activity: Optional[Any] = None,
+        snapshot: Optional[Any] = None,
     ) -> QueryResult:
         """Execute an already-built physical plan, measuring real I/O.
 
@@ -1049,6 +1063,7 @@ class Database:
             batch_size=self.batch_size,
             activity=activity,
             columnar=self.columnar,
+            snapshot=snapshot if snapshot is not None else self._active_snapshot,
         )
         start = time.perf_counter()
         rows = run(physical, ctx)
@@ -1112,25 +1127,52 @@ class Database:
     ) -> QueryResult:
         tracer = tracer or Tracer(enabled=False)
         start = time.perf_counter()
-        # Top-level statements (those arriving with a session) take
-        # statement-scoped shared table locks *before* the statement
-        # lock, so they never read another transaction's uncommitted
-        # rows and never block the engine while waiting.
-        acquired: List[str] = []
+        if not self.mvcc:
+            # Legacy isolation: top-level statements take statement-scoped
+            # shared table locks before the statement lock, so they never
+            # read uncommitted rows — at the price of blocking on writers.
+            acquired: List[str] = []
+            if session is not None:
+                names = [ref.table for ref in stmt.from_tables]
+                names += [join.table.table for join in stmt.joins]
+                acquired = self.txn.lock_tables_shared(
+                    [n for n in names if self.catalog.has_table(n)],
+                    txn=session.txn,
+                )
+            try:
+                with self._stmt_lock:
+                    return self._run_select_locked(
+                        stmt, sql, tracer, analyze, collect_search,
+                        session, start, None,
+                    )
+            finally:
+                self.txn.unlock_shared(acquired)
+        # MVCC: top-level statements read through a commit-timestamp
+        # snapshot instead of locking — they never block on writers and
+        # never see uncommitted rows.  Inside an explicit transaction the
+        # snapshot is pinned at the first SELECT and reused until COMMIT/
+        # ROLLBACK (repeatable reads, released by TxnManager._finish);
+        # autocommit SELECTs take a statement snapshot (read committed).
+        snapshot = None
+        release = False
         if session is not None:
-            names = [ref.table for ref in stmt.from_tables]
-            names += [join.table.table for join in stmt.joins]
-            acquired = self.txn.lock_tables_shared(
-                [n for n in names if self.catalog.has_table(n)],
-                txn=session.txn,
-            )
+            txn = session.txn
+            if txn is not None:
+                if txn.snapshot is None:
+                    txn.snapshot = self.txn.versions.acquire(txn.id)
+                snapshot = txn.snapshot
+            else:
+                snapshot = self.txn.versions.acquire(0)
+                release = True
         try:
             with self._stmt_lock:
                 return self._run_select_locked(
-                    stmt, sql, tracer, analyze, collect_search, session, start
+                    stmt, sql, tracer, analyze, collect_search,
+                    session, start, snapshot,
                 )
         finally:
-            self.txn.unlock_shared(acquired)
+            if release:
+                self.txn.versions.release(snapshot)
 
     def _run_select_locked(
         self,
@@ -1141,6 +1183,33 @@ class Database:
         collect_search: Optional[bool],
         session: Optional[Session],
         start: float,
+        snapshot: Optional[Any] = None,
+    ) -> QueryResult:
+        # Nested internal selects (view materialization, subquery
+        # decomposition) arrive with snapshot=None and inherit the outer
+        # statement's view, so one statement reads one consistent state.
+        if snapshot is None:
+            snapshot = self._active_snapshot
+        prev_snapshot = self._active_snapshot
+        self._active_snapshot = snapshot
+        try:
+            return self._run_select_impl(
+                stmt, sql, tracer, analyze, collect_search,
+                session, start, snapshot,
+            )
+        finally:
+            self._active_snapshot = prev_snapshot
+
+    def _run_select_impl(
+        self,
+        stmt: SelectStmt,
+        sql: Optional[str],
+        tracer: Tracer,
+        analyze: bool,
+        collect_search: Optional[bool],
+        session: Optional[Session],
+        start: float,
+        snapshot: Optional[Any],
     ) -> QueryResult:
         before_transients = len(self._live_transients)
         # Cacheable = user-issued, not EXPLAIN ANALYZE (which must show a
@@ -1159,7 +1228,16 @@ class Database:
         # cache's staleness reaction) would wrongly punish everyone else
         # for writes that may yet roll back.
         txn = session.txn if session is not None else None
-        bypass_result_cache = txn is not None and bool(txn.pending_epochs)
+        # A snapshot older than the latest commit must also bypass: cache
+        # entries reflect the *newest* committed state, which this reader's
+        # frozen view is not allowed to observe yet.
+        stale_snapshot = (
+            snapshot is not None
+            and snapshot.ts != self.txn.versions.last_commit_ts
+        )
+        bypass_result_cache = (
+            txn is not None and bool(txn.pending_epochs)
+        ) or stale_snapshot
         if cacheable and self.obs.result_cache and not bypass_result_cache:
             hit = self.result_cache.lookup(
                 sql, self._global_epoch, self._write_epochs
@@ -1198,6 +1276,9 @@ class Database:
             if sql is not None
             else None
         )
+        if entry is not None and snapshot is not None:
+            entry.snapshot_ts = snapshot.ts
+            entry.snapshot_acquired = snapshot.acquired_at
         made_transients = False
         try:
             if cached_plan is not None:
@@ -1226,7 +1307,10 @@ class Database:
                 entry.phase = "executing"
             waits0 = self.waits.snapshot() if self.obs.waits else None
             with tracer.span("execute"):
-                result = self.run_plan(physical, analyze=analyze, activity=entry)
+                result = self.run_plan(
+                    physical, analyze=analyze, activity=entry,
+                    snapshot=snapshot,
+                )
         finally:
             # transient tables created for THIS statement's views
             self._drop_transients_from(before_transients)
@@ -1251,6 +1335,12 @@ class Database:
             and self.obs.result_cache
             and not made_transients
             and result.rowcount <= self.obs.result_cache_max_rows
+            # re-checked after execution: a commit landing mid-query
+            # makes these rows a stale view the cache must not publish
+            and not (
+                snapshot is not None
+                and snapshot.ts != self.txn.versions.last_commit_ts
+            )
         ):
             tables = self._plan_tables(physical)
             # never publish rows that include this session's uncommitted
@@ -1427,6 +1517,21 @@ class Database:
                 "wait_events_total": float(len(self.waits)),
                 "slow_query_captures": float(self.auto_explain.captured_total),
             }
+            versions = self.txn.versions
+            extras.update(
+                {
+                    "mvcc_last_commit_ts": float(versions.last_commit_ts),
+                    "mvcc_active_snapshots": float(
+                        versions.active_snapshots()
+                    ),
+                    "mvcc_live_versions": float(versions.live_versions()),
+                    "mvcc_versions_recorded": float(
+                        versions.versions_recorded
+                    ),
+                    "mvcc_versions_pruned": float(versions.versions_pruned),
+                    "mvcc_snapshots_taken": float(versions.snapshots_taken),
+                }
+            )
             # one pair of series per wait event, dots flattened for the
             # exposition grammar (io.read -> wait_io_read_*)
             for event, count, total_ms, _ in self.waits.rows():
@@ -1453,6 +1558,16 @@ class Database:
             "allocations": dstats.allocations,
         }
         snap["query_log_entries"] = len(self.query_log)
+        versions = self.txn.versions
+        snap["mvcc"] = {
+            "last_commit_ts": versions.last_commit_ts,
+            "active_snapshots": versions.active_snapshots(),
+            "oldest_snapshot_ts": versions.oldest_snapshot_ts(),
+            "live_versions": versions.live_versions(),
+            "versions_recorded": versions.versions_recorded,
+            "versions_pruned": versions.versions_pruned,
+            "snapshots_taken": versions.snapshots_taken,
+        }
         snap["waits"] = self.waits.as_dict()
         snap["auto_explain"] = {
             "enabled": self.auto_explain.enabled,
@@ -1552,41 +1667,94 @@ class Database:
     # -- durability ---------------------------------------------------------------------------
 
     def checkpoint(self) -> QueryResult:
-        """Snapshot the page store and truncate the WAL.
+        """Fuzzy checkpoint: snapshot the page store and trim the WAL
+        without quiescing writers.
 
-        Quiesces the database first: a synthetic transaction takes every
-        table's write lock (so it waits for in-flight transactions to
-        resolve — their locks release only after the COMMIT record is
-        durable) plus the statement lock (so no DDL interleaves).  The
-        snapshot therefore never contains uncommitted data, which is what
-        makes redo-only recovery sound.
+        No table locks are taken — transactions stay open across the
+        checkpoint.  Under the statement lock (so no heap mutation
+        interleaves; COMMITs still proceed, they only touch the WAL):
+
+        1. log a ``CHECKPOINT_BEGIN`` record carrying the active-
+           transaction table and the dirty-page table (page -> recLSN);
+        2. write back every *committed*-dirty page — pages dirtied by an
+           active transaction are skipped (no-steal: uncommitted bytes
+           never reach disk), so their on-disk snapshot images are stale;
+        3. ``redo_lsn`` = the minimum recLSN over pages still dirty — no
+           record below it is needed to rebuild any page, every record at
+           or above it is replayed idempotently on recovery;
+        4. snapshot the page store, stamp ``redo_lsn`` into the meta,
+           drop WAL records below ``redo_lsn``, and log ``CHECKPOINT_END``.
+
+        Recovery redoes committed work from ``redo_lsn`` against the
+        (partly stale, partly ahead) snapshot images; replay is
+        idempotent, so images that already contain a suffix record
+        converge instead of corrupting.
         """
         if self.data_dir is None:
             raise EngineError(
                 "CHECKPOINT requires a database opened with data_dir"
             )
         writer = self.txn.writer
-        txn = self.txn.begin(self._session.id)
-        try:
-            for name in sorted(info.name for info in self.catalog.tables()):
-                self.txn.lock_table(txn, name)
-            with self._stmt_lock:
-                self.pool.flush_all()
-                writer.flush_all()
-                last = writer.flushed_lsn
-                write_checkpoint(
-                    self, self.data_dir, last, self.txn.next_txn_id
+        with self._stmt_lock:
+            att = self.txn.active_txn_ids()
+            dpt = self.txn.dirty_page_table()
+            payload = json.dumps(
+                {
+                    "active_txns": att,
+                    "dirty_pages": {
+                        f"{pid[0]}:{pid[1]}": rec for pid, rec in dpt.items()
+                    },
+                }
+            ).encode("utf-8")
+            action = faults.FAILPOINTS.hit("checkpoint.begin")
+            begin_lsn = writer.append(
+                WalRecordType.CHECKPOINT_BEGIN, 0, payload=payload
+            )
+            writer.flush_to(begin_lsn)
+            if action is not None:
+                faults.crash()
+            flushed = 0
+            for pid in self.pool.dirty_pages():
+                if not self.txn.may_evict(pid):
+                    continue  # no-steal: an active txn owns this page
+                action = faults.FAILPOINTS.hit("checkpoint.flush")
+                if self.pool.flush_page(pid):
+                    flushed += 1
+                if action is not None:
+                    faults.crash()
+            writer.flush_all()
+            last = writer.flushed_lsn
+            rec = self.txn.min_rec_lsn()
+            redo_lsn = rec if rec is not None else last + 1
+            write_checkpoint(
+                self,
+                self.data_dir,
+                last,
+                self.txn.next_txn_id,
+                redo_lsn=redo_lsn,
+                active_txns=att,
+            )
+            writer.retain_from(redo_lsn)
+            action = faults.FAILPOINTS.hit("checkpoint.end")
+            lsn = writer.append(
+                WalRecordType.CHECKPOINT_END,
+                0,
+                payload=json.dumps(
+                    {"redo_lsn": redo_lsn, "last_lsn": last}
+                ).encode("utf-8"),
+            )
+            writer.flush_to(lsn)
+            if action is not None:
+                faults.crash()
+            if self.obs.metrics:
+                self.metrics.counter("checkpoints_total").inc()
+                self.metrics.counter("checkpoint_pages_flushed_total").inc(
+                    flushed
                 )
-                writer.reset(last + 1)
-                lsn = writer.append(
-                    WalRecordType.CHECKPOINT,
-                    0,
-                    payload=json.dumps({"last_lsn": last}).encode("utf-8"),
-                )
-                writer.flush_to(lsn)
-        finally:
-            self.txn.commit(txn)  # lock-only txn: releases, logs nothing
-        return QueryResult(rows=[(last,)], columns=["checkpoint_lsn"])
+        return QueryResult(
+            rows=[(last, redo_lsn, len(att))],
+            columns=["checkpoint_lsn", "redo_lsn", "active_txns"],
+        )
 
     def close(self) -> None:
         """Shut down cleanly: roll back open transactions, checkpoint

@@ -66,6 +66,7 @@ class ExecContext:
         partition: Optional[PartitionContext] = None,
         activity: Optional[Any] = None,
         columnar: bool = False,
+        snapshot: Optional[Any] = None,
     ):
         if work_mem_pages < 3:
             raise ValueError("work memory must be at least 3 pages")
@@ -85,6 +86,10 @@ class ExecContext:
         #: the in-flight statement's ActivityEntry (``sys_stat_activity``);
         #: the run loop updates its progress fields batch by batch
         self.activity = activity
+        #: MVCC read view (a ``repro.wal.Snapshot``); scans consult it to
+        #: hide rows committed after the snapshot and resurrect rows the
+        #: snapshot should still see.  ``None`` = read the live heap.
+        self.snapshot = snapshot
         self.metrics = ExecMetrics()
         self._temp_counter = 0
         self._temp_files: List[HeapFile] = []

@@ -191,6 +191,7 @@ class GatherOp(Operator):
             batch_size=ctx.batch_size,
             partition=PartitionContext(worker, degree),
             columnar=ctx.columnar,
+            snapshot=ctx.snapshot,
         )
 
     def _drain(self, wctx: ExecContext) -> List[Row]:

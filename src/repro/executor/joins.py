@@ -179,6 +179,10 @@ class IndexNLJoinOp(Operator):
         composite = getattr(index, "is_composite", False)
         if composite:
             from ..index.keys import MAX_KEY, MIN_KEY
+        # snapshot overlay on the probed (inner) table: suppress index
+        # entries whose heap row is not what the snapshot sees, and probe
+        # the visible images by their leading key component instead
+        skip, extra = self._inner_overlay(composite)
         while True:
             outer_batch = self.left.next_batch()
             if outer_batch is None:
@@ -201,14 +205,42 @@ class IndexNLJoinOp(Operator):
                 else:
                     rids = index.structure.search(key)
                 for rid in rids:
+                    if skip is not None and rid in skip:
+                        continue
                     inner_row = heap_fetch(rid)
                     if inner_row is None:
                         continue
                     out.append(outer_row + inner_row)
+                if extra is not None:
+                    for inner_row in extra.get(key, ()):
+                        out.append(outer_row + inner_row)
             if self.residual is not None and out:
                 mask = self.residual(out)
                 out = [row for row, keep in zip(out, mask) if keep]
             yield from out
+
+    def _inner_overlay(self, composite: bool):
+        """``(skip_rids, probe_key -> visible rows)`` under a snapshot,
+        or ``(None, None)`` when the live heap is already correct."""
+        from .scans import table_overlay
+
+        plan = self.plan
+        overlay = table_overlay(self.ctx, plan.table)
+        if overlay is None:
+            return None, None
+        replace, ghosts = overlay
+        skip = set(replace) | set(ghosts)
+        schema = plan.table.schema
+        lead = schema.index_of(plan.index.columns[0])
+        extra: dict = {}
+        rows = [r for r in replace.values() if r is not None]
+        rows.extend(ghosts.values())
+        for row in rows:
+            key = row[lead]
+            if key is None:
+                continue  # probes skip NULL keys, matching the index
+            extra.setdefault(key, []).append(row)
+        return skip, extra
 
     def _close(self):
         self._gen = None

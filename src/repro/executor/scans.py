@@ -4,16 +4,34 @@ All page access goes through the buffer pool via the heap/index
 structures, so I/O counters reflect real behaviour.  Scans are the pure
 batch producers: they pull up to ``batch_size`` rows per call and apply
 their predicate with one vectorized evaluation per batch.
+
+Snapshot visibility (MVCC) is applied here, at the leaves.  When the
+context carries a :class:`repro.wal.Snapshot`, every scan first asks the
+version store for the table's *overlay* — the per-rid corrections this
+snapshot needs on top of the live heap (``None`` in the overwhelmingly
+common case where the heap already matches the snapshot, which keeps the
+fast paths byte-identical to non-MVCC execution).  With an overlay:
+
+* heap rows at overlaid rids are substituted (older image) or hidden
+  (the row did not exist yet);
+* rows deleted after the snapshot began are resurrected as *ghosts*;
+* index scans suppress entries for overlaid rids and merge the visible
+  images back **in key order** (via ``key_lt``), because the optimizer
+  exploits index output order (merge joins, ORDER BY elimination);
+* the columnar path falls back to row-at-a-time decoding — zone maps
+  are rebuilt from the live heap, so page skipping is unsound under an
+  overlay and is disabled with it.
 """
 
 from __future__ import annotations
 
 from itertools import islice
-from typing import Any, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from ..catalog import IndexKind
 from ..expr import compile_predicate_batch
 from ..expr.vector import compile_predicate_columnar
+from ..index.keys import key_lt
 from ..physical import (
     PIndexOnlyScan,
     PIndexScan,
@@ -25,6 +43,86 @@ from .columnar import ColumnBatch
 from .operator import Batch, Operator, operator_for
 from .pagedecode import decode_page_columns, decode_pages_columns
 from .partition import page_range
+
+RID = Tuple[int, int]
+Overlay = Tuple[Dict[RID, Optional[Tuple]], Dict[RID, Tuple]]
+
+
+def table_overlay(ctx, info) -> Optional[Overlay]:
+    """The snapshot's (replace, ghosts) correction for *info*'s table, or
+    ``None`` when the live heap is already what the snapshot sees."""
+    snapshot = getattr(ctx, "snapshot", None)
+    if snapshot is None:
+        return None
+    return snapshot.scan_overlay(info)
+
+
+class _KeyOrder:
+    """Sort adapter over the index key total order (NULLs first)."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Any):
+        self.key = key
+
+    def __lt__(self, other: "_KeyOrder") -> bool:
+        return key_lt(self.key, other.key)
+
+
+def _key_in_bounds(plan, key: Any) -> bool:
+    """Would the index scan described by *plan* have emitted *key*?"""
+    if plan.index.kind is IndexKind.HASH:
+        return key is not None and key == plan.low.value
+    low, high, li, hi = _index_bounds(plan)
+    if key is None:
+        # bounded btree scans never return NULL keys (SQL comparison
+        # semantics); fully unbounded scans include them
+        return low is None and high is None
+    if low is not None:
+        if li:
+            if key_lt(key, low):
+                return False
+        elif not key_lt(low, key):
+            return False
+    if high is not None:
+        if hi:
+            if key_lt(high, key):
+                return False
+        elif not key_lt(key, high):
+            return False
+    return True
+
+
+def index_overlay(plan, overlay: Overlay) -> Tuple[Set[RID], List[Tuple[Any, Tuple]]]:
+    """Translate a table overlay into index-scan terms.
+
+    Returns ``(skip, injected)``: rids whose index entries must be
+    suppressed (their heap row is not what this snapshot sees), and the
+    key-sorted ``(key, row)`` list of visible images whose key falls
+    inside the scan bounds, ready to merge into the entry stream.
+    """
+    replace, ghosts = overlay
+    skip = set(replace) | set(ghosts)
+    info = plan.table
+    positions = [info.schema.index_of(c) for c in plan.index.columns]
+
+    def key_of(row: Tuple) -> Any:
+        if len(positions) == 1:
+            return row[positions[0]]
+        return tuple(row[p] for p in positions)
+
+    injected: List[Tuple[Any, Tuple]] = []
+    for row in replace.values():
+        if row is not None:
+            key = key_of(row)
+            if _key_in_bounds(plan, key):
+                injected.append((key, row))
+    for row in ghosts.values():
+        key = key_of(row)
+        if _key_in_bounds(plan, key):
+            injected.append((key, row))
+    injected.sort(key=lambda kr: _KeyOrder(kr[0]))
+    return skip, injected
 
 
 class _ScanOp(Operator):
@@ -102,9 +200,29 @@ class SeqScanOp(_ScanOp):
             return page_range(heap.num_pages, part.worker, part.degree)
         return 0, heap.num_pages
 
+    def _visible_rows(
+        self, overlay: Overlay, first: int, last: int
+    ) -> Iterator[Tuple[Any, ...]]:
+        """Heap scan with snapshot corrections applied in rid order;
+        ghosts (rows deleted after the snapshot) come after their page
+        range — a seq scan promises no ordering, so appending is fine."""
+        replace, ghosts = overlay
+        for rid, row in self.plan.table.heap.scan(first, last):
+            if rid in replace:
+                older = replace[rid]
+                if older is not None:
+                    yield older
+                continue
+            yield row
+        for rid in sorted(g for g in ghosts if first <= g[0] < last):
+            yield ghosts[rid]
+
     def _start_scan(self) -> Iterator[Tuple[Any, ...]]:
         self.plan.table.access.seq_scans += 1
         first, last = self._page_span()
+        overlay = table_overlay(self.ctx, self.plan.table)
+        if overlay is not None:
+            return self._visible_rows(overlay, first, last)
         return self.plan.table.heap.scan_rows(first, last)
 
     def _next_batch(self, max_rows=None) -> Optional[Batch]:
@@ -197,8 +315,34 @@ class SeqScanOp(_ScanOp):
                 return parts[0]
             return ColumnBatch.concat(parts)
 
+    def _next_batch_columnar_rows(self, max_rows=None) -> Optional[ColumnBatch]:
+        """Columnar scan under a snapshot overlay: decode row-at-a-time
+        (zone-map skipping would consult live-heap bounds that the
+        snapshot's older images may violate) and columnarize per batch."""
+        n = self._target(max_rows)
+        predicate = self.predicate_columnar
+        while True:
+            rows = self._pull_counted(lambda: list(islice(self._rows, n)))
+            if not rows:
+                return None
+            self.ctx.metrics.rows_scanned += len(rows)
+            batch = ColumnBatch.from_rows(self.plan.schema, rows)
+            if predicate is not None:
+                batch = batch.filter(predicate(batch))
+                if not batch:
+                    continue
+            return batch
+
     def _next_batch_columnar(self, max_rows=None) -> Optional[ColumnBatch]:
+        if self._rows is not None:
+            return self._next_batch_columnar_rows(max_rows)
         if self._pages is None:
+            overlay = table_overlay(self.ctx, self.plan.table)
+            if overlay is not None:
+                self.plan.table.access.seq_scans += 1
+                first, last = self._page_span()
+                self._rows = self._visible_rows(overlay, first, last)
+                return self._next_batch_columnar_rows(max_rows)
             self._pages = self._start_pages()
         n = self._target(max_rows)
         metrics = self.ctx.metrics
@@ -271,11 +415,32 @@ class IndexScanOp(_ScanOp):
         # access pattern (and hence the buffer pool's hit/read split) is
         # the same at every batch size
         fetch = self.plan.table.heap.fetch
-        for _, rid in self._start():
+        overlay = table_overlay(self.ctx, self.plan.table)
+        if overlay is None:
+            for _, rid in self._start():
+                row = fetch(rid)
+                if row is None:
+                    continue  # deleted since the index entry was made
+                yield row
+            return
+        # snapshot overlay: suppress entries whose heap row is not what
+        # this snapshot sees, and merge the visible images back in key
+        # order (downstream operators may rely on the index sort order)
+        skip, injected = index_overlay(self.plan, overlay)
+        i, n = 0, len(injected)
+        for key, rid in self._start():
+            while i < n and not key_lt(key, injected[i][0]):
+                yield injected[i][1]
+                i += 1
+            if rid in skip:
+                continue
             row = fetch(rid)
             if row is None:
-                continue  # deleted since the index entry was made
+                continue
             yield row
+        while i < n:
+            yield injected[i][1]
+            i += 1
 
     def _next_batch(self, max_rows=None) -> Optional[Batch]:
         if self._rows is None:
@@ -311,16 +476,34 @@ class IndexOnlyScanOp(_ScanOp):
     def _open(self):
         self._entries = None
 
+    def _keys(self) -> Iterator[Any]:
+        low, high, li, hi = _index_bounds(self.plan)
+        self.plan.table.access.index_scans += 1
+        entries = self.plan.index.structure.range_scan(low, high, li, hi)
+        overlay = table_overlay(self.ctx, self.plan.table)
+        if overlay is None:
+            for key, _rid in entries:
+                yield key
+            return
+        skip, injected = index_overlay(self.plan, overlay)
+        i, n = 0, len(injected)
+        for key, rid in entries:
+            while i < n and not key_lt(key, injected[i][0]):
+                yield injected[i][0]
+                i += 1
+            if rid in skip:
+                continue
+            yield key
+        while i < n:
+            yield injected[i][0]
+            i += 1
+
     def _next_batch(self, max_rows=None) -> Optional[Batch]:
         if self._entries is None:
-            low, high, li, hi = _index_bounds(self.plan)
-            self.plan.table.access.index_scans += 1
-            self._entries = self.plan.index.structure.range_scan(
-                low, high, li, hi
-            )
+            self._entries = self._keys()
         n = self._target(max_rows)
         batch = self._pull_counted(
-            lambda: [(key,) for key, _rid in islice(self._entries, n)]
+            lambda: [(key,) for key in islice(self._entries, n)]
         )
         if not batch:
             return None

@@ -69,6 +69,10 @@ class ActivityEntry:
     rows_produced: int = 0
     started: float = field(default_factory=time.perf_counter)
     session_id: int = 0
+    #: the MVCC read view this statement runs under (None: no snapshot —
+    #: DML, or a database opened with mvcc=False)
+    snapshot_ts: Any = None
+    snapshot_acquired: float = 0.0
 
     @property
     def elapsed_ms(self) -> float:
@@ -270,7 +274,14 @@ def _stat_activity(db: "Database") -> Tuple[Schema, Rows]:
         ("sql", DataType.TEXT),
         ("session_id", DataType.INT),
         ("state", DataType.TEXT),
+        ("snapshot_ts", DataType.INT),
+        ("snapshot_age_ms", DataType.FLOAT),
     )
+    now = time.monotonic()
+
+    def _age(acquired: float) -> float:
+        return max(0.0, (now - acquired) * 1000.0)
+
     rows: Rows = [
         (
             entry.query_id,
@@ -281,6 +292,10 @@ def _stat_activity(db: "Database") -> Tuple[Schema, Rows]:
             " ".join(entry.sql.split())[:200],
             entry.session_id,
             "active",
+            entry.snapshot_ts,
+            _age(entry.snapshot_acquired)
+            if entry.snapshot_ts is not None
+            else None,
         )
         for entry in db.activity.live()
     ]
@@ -289,7 +304,17 @@ def _stat_activity(db: "Database") -> Tuple[Schema, Rows]:
         if session.id in busy:
             continue
         state = "idle in transaction" if session.in_transaction else "idle"
-        rows.append((0, "", "", 0, 0.0, "", session.id, state))
+        # an idle-in-transaction session may still pin a repeatable-read
+        # snapshot — exactly the thing that blocks version pruning, so
+        # exactly the thing an operator needs to see
+        snap = session.txn.snapshot if session.txn is not None else None
+        rows.append(
+            (
+                0, "", "", 0, 0.0, "", session.id, state,
+                snap.ts if snap is not None else None,
+                _age(snap.acquired_at) if snap is not None else None,
+            )
+        )
     return schema, rows
 
 

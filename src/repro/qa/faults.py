@@ -192,6 +192,13 @@ def run_workload(
     db = Database(data_dir=data_dir)
     if not db.catalog.has_table(WORKLOAD_TABLE):
         db.execute(f"CREATE TABLE {WORKLOAD_TABLE} (k INT, v INT)")
+    #: a second connection that holds an *uncommitted* write open across
+    #: every CHECKPOINT: fuzzy checkpoints must skip its dirty page
+    #: (no-steal), record it in the ATT, and set redo_lsn below it —
+    #: so sweep kills mid-checkpoint exercise genuinely fuzzy recovery.
+    #: Keys are negative, and the write always rolls back, so the
+    #: reference oracle is unaffected.
+    side = db.create_session()
     with open(acks_path, "a") as acks:
         for t in range(1, txns + 1):
             db.execute("BEGIN")
@@ -215,7 +222,13 @@ def run_workload(
             acks.flush()
             os.fsync(acks.fileno())
             if t % CHECKPOINT_EVERY == 0:
+                db.execute("BEGIN", session=side)
+                db.execute(
+                    f"INSERT INTO {WORKLOAD_TABLE} VALUES ({-t}, 0)",
+                    session=side,
+                )
                 db.execute("CHECKPOINT")
+                db.execute("ROLLBACK", session=side)
     db.close()
 
 
@@ -281,7 +294,10 @@ def verify_recovery(
 SWEEP_SITES = {
     "wal.append": ("before", "after", "partial"),
     "wal.fsync": ("before", "after"),
+    "checkpoint.begin": ("before", "after"),
+    "checkpoint.flush": ("before", "after"),
     "checkpoint.page": ("before", "after", "partial"),
+    "checkpoint.end": ("before", "after"),
     "page.writeback": ("before", "after"),
 }
 

@@ -141,6 +141,10 @@ class BufferPool:
         #: WAL-before-data hook, called with the page id right before a
         #: dirty frame's image goes down to disk
         self.write_hook = None
+        #: called with the page id right after a dirty frame's image
+        #: reached disk (the transaction manager clears the page's recLSN
+        #: so fuzzy checkpoints can compute their redo start point)
+        self.clean_hook = None
 
     @property
     def waits(self):
@@ -203,14 +207,40 @@ class BufferPool:
 
     def clear(self) -> None:
         """Flush and drop every unpinned frame (used between experiments so
-        runs start cold)."""
+        runs start cold).  Frames vetoed by the no-steal guard are kept
+        in place, neither written nor dropped — uncommitted bytes must
+        never reach the disk image."""
         with self._lock:
             pinned = [f for f in self._frames.values() if f.pin_count > 0]
             if pinned:
                 raise BufferError_(f"{len(pinned)} frames still pinned")
-            self.flush_all()
-            self._frames.clear()
+            kept = {}
+            for pid, frame in self._frames.items():
+                if (
+                    frame.dirty
+                    and self.evict_guard is not None
+                    and not self.evict_guard(pid)
+                ):
+                    kept[pid] = frame
+                    continue
+                self._writeback(frame)
+            self._frames = OrderedDict(kept)
             self._clock_hand = 0
+
+    def dirty_pages(self) -> list:
+        """Page ids of every dirty frame (a fuzzy checkpoint's worklist)."""
+        with self._lock:
+            return [pid for pid, f in self._frames.items() if f.dirty]
+
+    def flush_page(self, page_id: PageId) -> bool:
+        """Write one dirty frame back (keeping it cached).  Returns True
+        if a write happened."""
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None or not frame.dirty:
+                return False
+            self._writeback(frame)
+            return True
 
     def discard_file(self, file_id: int) -> None:
         """Drop every frame of *file_id* without writeback (the file is
@@ -309,6 +339,8 @@ class BufferPool:
                 waits.record("io.write", time.perf_counter() - start)
             frame.dirty = False
             self.stats.dirty_writebacks += 1
+            if self.clean_hook is not None:
+                self.clean_hook(frame.page_id)
             if action is not None:
                 faults.crash()
 

@@ -195,11 +195,24 @@ class HeapFile:
     # The replay_* methods apply one physiological WAL record verbatim:
     # no schema validation, no hooks (recovery and undo must never re-log),
     # no free-space search — the record says exactly which page and slot.
+    #
+    # All of them are *idempotent*: a fuzzy checkpoint's page images may
+    # already reflect some records of the redo suffix (redo starts at the
+    # minimum recLSN over dirty pages, which can lie before the flush
+    # point of other pages), so replaying onto an already-current page
+    # must be a no-op that later suffix records converge over.
 
     def replay_alloc(self, page_no: int) -> None:
-        """Redo a page allocation.  Idempotent: a page the checkpoint
-        already contains is left alone."""
+        """Redo a page allocation.  Idempotent — but a fuzzy checkpoint
+        can capture a page whose allocation record came from a then-open
+        transaction: the disk file already has the page, yet its image is
+        all zeros (the in-pool formatting was never flushed, by no-steal).
+        Such a page is formatted here so later replays can land on it."""
         if page_no < self.num_pages:
+            page_id = (self.file_id, page_no)
+            with PageGuard(self.pool, page_id, write=True) as data:
+                if SlottedPage(data).free_offset == 0:
+                    SlottedPage.format(data)
             return
         if page_no != self.num_pages:
             raise HeapError(
@@ -214,24 +227,46 @@ class HeapFile:
     def replay_insert(self, page_no: int, slot_no: int, record: bytes) -> None:
         self._check_page(page_no)
         with PageGuard(self.pool, (self.file_id, page_no), write=True) as data:
-            if not SlottedPage(data).place_at(slot_no, record):
-                raise HeapError(
-                    f"insert replay does not fit at ({page_no}, {slot_no})"
-                )
+            page = SlottedPage(data)
+            if slot_no < page.num_slots and page.read(slot_no) is not None:
+                # the image already reflects this insert (possibly with a
+                # later in-place update's bytes, which also replay)
+                return
+            if not page.place_at(slot_no, record):
+                page.compact()
+                if not page.place_at(slot_no, record):
+                    raise HeapError(
+                        f"insert replay does not fit at ({page_no}, {slot_no})"
+                    )
         self._num_rows += 1
 
     def replay_update(self, page_no: int, slot_no: int, record: bytes) -> None:
         self._check_page(page_no)
         with PageGuard(self.pool, (self.file_id, page_no), write=True) as data:
-            if not SlottedPage(data).update(slot_no, record):
-                raise HeapError(
-                    f"update replay does not fit at ({page_no}, {slot_no})"
-                )
+            page = SlottedPage(data)
+            if slot_no >= page.num_slots or page.read(slot_no) is None:
+                # the image reflects a later delete of this slot, whose
+                # record replays after us — nothing to update yet
+                return
+            if not page.update(slot_no, record):
+                # the slot's footprint shrank (a later shorter record, or
+                # compaction): reopen it at the full record size
+                page.delete(slot_no)
+                if not page.place_at(slot_no, record):
+                    page.compact()
+                    if not page.place_at(slot_no, record):
+                        raise HeapError(
+                            f"update replay does not fit at "
+                            f"({page_no}, {slot_no})"
+                        )
 
     def replay_delete(self, page_no: int, slot_no: int) -> None:
         self._check_page(page_no)
         with PageGuard(self.pool, (self.file_id, page_no), write=True) as data:
-            deleted = SlottedPage(data).delete(slot_no)
+            page = SlottedPage(data)
+            if slot_no >= page.num_slots:
+                return  # the insert this delete undoes was never applied
+            deleted = page.delete(slot_no)
         if deleted:
             self._num_rows -= 1
 

@@ -7,7 +7,10 @@ store atomically on CHECKPOINT (:mod:`.checkpoint`), and replays the
 committed WAL suffix on open (:mod:`.recovery`).  The transaction
 manager (:mod:`.manager`) is the engine-facing seam: transaction
 lifecycle, logical undo on rollback, strict table write locks, and the
-per-mutation hooks that emit redo records.
+per-mutation hooks that emit redo records.  Those same hooks feed the
+MVCC version store (:mod:`.mvcc`), which gives readers lock-free
+snapshot isolation; checkpoints are *fuzzy* — writers stay live, and
+recovery redoes from the checkpoint's recorded ``redo_lsn``.
 """
 
 from .checkpoint import (
@@ -26,6 +29,7 @@ from .log import (
     truncate_wal,
 )
 from .manager import LockTimeout, Transaction, TxnError, TxnManager
+from .mvcc import Snapshot, VersionStore
 from .records import (
     WalCodecError,
     WalRecord,
@@ -50,9 +54,11 @@ __all__ = [
     "read_wal",
     "truncate_wal",
     "LockTimeout",
+    "Snapshot",
     "Transaction",
     "TxnError",
     "TxnManager",
+    "VersionStore",
     "WalCodecError",
     "WalRecord",
     "WalRecordType",

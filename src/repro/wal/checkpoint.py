@@ -46,7 +46,13 @@ def checkpoint_path(data_dir: str) -> str:
     return os.path.join(data_dir, CHECKPOINT_FILE)
 
 
-def collect_meta(db, last_lsn: int, next_txn_id: int) -> Dict[str, Any]:
+def collect_meta(
+    db,
+    last_lsn: int,
+    next_txn_id: int,
+    redo_lsn: Optional[int] = None,
+    active_txns: Optional[List[int]] = None,
+) -> Dict[str, Any]:
     """The catalog metadata one checkpoint carries (JSON-safe)."""
     tables: List[Dict[str, Any]] = []
     for info in db.catalog.tables():
@@ -70,8 +76,8 @@ def collect_meta(db, last_lsn: int, next_txn_id: int) -> Dict[str, Any]:
                 ],
             }
         )
-    return {
-        "version": 1,
+    meta = {
+        "version": 2,
         "page_size": db.disk.page_size,
         "last_lsn": last_lsn,
         "next_txn_id": next_txn_id,
@@ -80,16 +86,36 @@ def collect_meta(db, last_lsn: int, next_txn_id: int) -> Dict[str, Any]:
             {"name": v.name, "sql": v.sql} for v in db.views.values()
         ],
     }
+    if redo_lsn is not None:
+        # fuzzy checkpoint: the snapshot's page images may be *stale* for
+        # pages the flush pass had to skip (no-steal); redo must start at
+        # the minimum recLSN of those pages, not at last_lsn + 1
+        meta["redo_lsn"] = redo_lsn
+    if active_txns:
+        meta["active_txns"] = list(active_txns)
+    return meta
 
 
-def write_checkpoint(db, data_dir: str, last_lsn: int, next_txn_id: int) -> str:
+def write_checkpoint(
+    db,
+    data_dir: str,
+    last_lsn: int,
+    next_txn_id: int,
+    redo_lsn: Optional[int] = None,
+    active_txns: Optional[List[int]] = None,
+) -> str:
     """Snapshot *db* into ``checkpoint.bin`` (atomic install).
 
-    The caller must have flushed the buffer pool first so the disk page
-    images are current, and must guarantee no transaction is in flight
-    (no-steal: a snapshot never contains uncommitted changes).
+    The caller must have flushed the buffer pool's *committed* dirty
+    pages first.  Quiesced callers guarantee no transaction is in
+    flight, so the images are current and redo starts after
+    ``last_lsn``.  Fuzzy callers may leave transaction-owned pages
+    unflushed (no-steal keeps uncommitted bytes out of the snapshot
+    either way); they pass ``redo_lsn`` — the minimum recLSN over pages
+    still dirty — so recovery's redo pass starts early enough to rebuild
+    the stale images.
     """
-    meta = collect_meta(db, last_lsn, next_txn_id)
+    meta = collect_meta(db, last_lsn, next_txn_id, redo_lsn, active_txns)
     meta_bytes = json.dumps(meta, sort_keys=True).encode("utf-8")
     final = checkpoint_path(data_dir)
     tmp = final + ".tmp"

@@ -154,6 +154,38 @@ class WalWriter:
             self._appended_lsn = start_lsn - 1
             self.flushed_lsn = start_lsn - 1
 
+    def retain_from(self, redo_lsn: int) -> int:
+        """Drop the log prefix below *redo_lsn* (fuzzy checkpoint GC).
+
+        Unlike :meth:`reset`, records at or above *redo_lsn* survive —
+        they may belong to transactions still in flight or to dirty
+        pages the checkpoint could not flush — and the LSN counters keep
+        counting.  The rewrite is atomic (tmp + fsync + rename), so a
+        crash at any point leaves either the old log or the new one.
+        Returns the number of records dropped.
+        """
+        with self._append_lock, self._flush_lock:
+            self._file.flush()
+            if self.sync:
+                os.fsync(self._file.fileno())
+            with open(self.path, "rb") as f:
+                buf = f.read()
+            records, _ = valid_prefix(buf)
+            kept = [rec for rec in records if rec.lsn >= redo_lsn]
+            dropped = len(records) - len(kept)
+            if dropped == 0:
+                return 0
+            tmp = self.path + ".tmp"
+            with open(tmp, "wb") as f:
+                for rec in kept:
+                    f.write(encode_record(rec))
+                f.flush()
+                os.fsync(f.fileno())
+            self._file.close()
+            os.replace(tmp, self.path)
+            self._file = open(self.path, "ab")
+            return dropped
+
 
 def read_wal(path: str) -> Tuple[List[WalRecord], int, int]:
     """Read the valid prefix of the WAL at *path*.

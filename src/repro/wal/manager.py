@@ -17,11 +17,19 @@ without a WAL writer attached:
 Concurrency model (documented in docs/RECOVERY.md): writers take a
 table-exclusive lock at first touch and hold it to COMMIT/ROLLBACK
 (strict two-phase locking), so a transaction's uncommitted rows are
-never read *or overwritten* by another writer.  Readers take shared
-per-statement locks, so a SELECT never observes a page mid-mutation and
-sees only committed data (read-committed at statement granularity).
-Lock waits are bounded by ``lock_timeout`` — a timeout aborts the
-waiting statement rather than deadlocking.
+never read *or overwritten* by another writer.  Readers do **not**
+lock: every mutation hook also hangs the row's pre-image on the
+:class:`~repro.wal.mvcc.VersionStore`, and a SELECT runs against a
+:class:`~repro.wal.mvcc.Snapshot` (commit-timestamp read view) — see
+``mvcc.py``.  Statement snapshots give read-committed, transaction
+snapshots give repeatable reads, and readers never block on writers.
+Lock waits (writer/writer only) are bounded by ``lock_timeout`` — a
+timeout aborts the waiting statement rather than deadlocking.
+
+For fuzzy checkpoints the manager also tracks, per dirty page, the LSN
+that *first* dirtied it since it was last written back (its recLSN):
+the checkpoint's redo start point is the minimum recLSN over pages
+still dirty after the checkpoint's flush pass.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from .log import WalWriter
+from .mvcc import Snapshot, VersionStore
 from .records import WalRecordType
 
 PageId = Tuple[int, int]
@@ -60,6 +69,11 @@ class Transaction:
     locked_tables: Set[str] = field(default_factory=set)
     #: True once this txn has appended at least one WAL record
     logged: bool = False
+    #: read view pinned at the txn's first SELECT (repeatable reads);
+    #: released when the transaction resolves
+    snapshot: Optional[Snapshot] = None
+    #: commit timestamp assigned by the VersionStore (None: wrote nothing)
+    commit_ts: Optional[int] = None
 
 
 class _TableLock:
@@ -86,6 +100,7 @@ class TxnManager:
         self.writer = writer
         self.waits = waits
         self.lock_timeout = lock_timeout
+        self.versions = VersionStore()
         self._next_txn_id = 1
         self._id_lock = threading.Lock()
         self._tls = threading.local()
@@ -94,7 +109,12 @@ class TxnManager:
         #: dirty page -> (owning active txn id, LSN of its latest record);
         #: the buffer pool's no-steal guard consults this
         self._page_txn: Dict[PageId, Tuple[int, int]] = {}
+        #: dirty page -> LSN that first dirtied it since last writeback
+        #: (ARIES recLSN; cleared by the buffer pool's clean hook)
+        self._page_rec_lsn: Dict[PageId, int] = {}
         self._page_guard = threading.Lock()
+        #: transactions begun but not yet finished (checkpoint ATT)
+        self._active: Dict[int, float] = {}
 
     # -- txn lifecycle --------------------------------------------------------
 
@@ -110,6 +130,7 @@ class TxnManager:
         with self._id_lock:
             txn_id = self._next_txn_id
             self._next_txn_id += 1
+            self._active[txn_id] = time.monotonic()
         return Transaction(txn_id, session_id, explicit)
 
     def current(self) -> Optional[Transaction]:
@@ -122,10 +143,16 @@ class TxnManager:
         return _Activation(self._tls, txn)
 
     def commit(self, txn: Transaction) -> None:
-        """Make *txn* durable (WAL COMMIT + fsync) and release its locks."""
+        """Make *txn* durable (WAL COMMIT + fsync) and release its locks.
+
+        The commit timestamp is stamped *before* the table locks drop,
+        so the next writer of any row this txn touched is guaranteed a
+        later timestamp — version chains stay in commit order.
+        """
         if self.writer is not None and txn.logged:
             lsn = self.writer.append(WalRecordType.COMMIT, txn.id)
             self.writer.flush_to(lsn)
+        txn.commit_ts = self.versions.commit(txn.id)
         self._finish(txn)
 
     def rollback(self, txn: Transaction, catalog) -> None:
@@ -143,9 +170,13 @@ class TxnManager:
         txn.pending_epochs.clear()
         if self.writer is not None and txn.logged:
             self.writer.append(WalRecordType.ABORT, txn.id)
+        self.versions.rollback(txn.id)
         self._finish(txn)
 
     def _finish(self, txn: Transaction) -> None:
+        if txn.snapshot is not None:
+            self.versions.release(txn.snapshot)
+            txn.snapshot = None
         with self._page_guard:
             doomed = [
                 pid
@@ -157,6 +188,8 @@ class TxnManager:
         for table in sorted(txn.locked_tables):
             self._release_write(txn, table)
         txn.locked_tables.clear()
+        with self._id_lock:
+            self._active.pop(txn.id, None)
 
     # -- undo -----------------------------------------------------------------
 
@@ -239,6 +272,7 @@ class TxnManager:
     def _note_page(self, txn: Transaction, page_id: PageId, lsn: int) -> None:
         with self._page_guard:
             self._page_txn[page_id] = (txn.id, lsn)
+            self._page_rec_lsn.setdefault(page_id, lsn)
 
     def on_alloc(self, table: str, page_id: PageId) -> None:
         txn = self.current()
@@ -260,6 +294,7 @@ class TxnManager:
         if txn is None:
             return
         txn.undo.append(("insert", table, (page_id[1], slot_no)))
+        self.versions.record(table, (page_id[1], slot_no), txn.id, None)
         if self.writer is not None:
             self._ensure_begin(txn)
             lsn = self.writer.append(
@@ -279,6 +314,7 @@ class TxnManager:
         if txn is None:
             return
         txn.undo.append(("update", table, (page_id[1], slot_no), old_record))
+        self.versions.record(table, (page_id[1], slot_no), txn.id, old_record)
         if self.writer is not None:
             self._ensure_begin(txn)
             lsn = self.writer.append(
@@ -293,6 +329,7 @@ class TxnManager:
         if txn is None:
             return
         txn.undo.append(("delete", table, (page_id[1], slot_no), old_record))
+        self.versions.record(table, (page_id[1], slot_no), txn.id, old_record)
         if self.writer is not None:
             self._ensure_begin(txn)
             lsn = self.writer.append(
@@ -325,6 +362,32 @@ class TxnManager:
             entry = self._page_txn.get(page_id)
         if entry is not None:
             self.writer.flush_to(entry[1])
+
+    def page_clean(self, page_id: PageId) -> None:
+        """The buffer pool wrote this page back: its recLSN resets (the
+        next record to touch it starts a fresh dirty interval)."""
+        with self._page_guard:
+            self._page_rec_lsn.pop(page_id, None)
+
+    # -- fuzzy-checkpoint bookkeeping ----------------------------------------
+
+    def active_txn_ids(self) -> List[int]:
+        """Transactions begun but not yet resolved (checkpoint ATT)."""
+        with self._id_lock:
+            return sorted(self._active)
+
+    def dirty_page_table(self) -> Dict[PageId, int]:
+        """page -> recLSN for every page dirtied since its last writeback."""
+        with self._page_guard:
+            return dict(self._page_rec_lsn)
+
+    def min_rec_lsn(self) -> Optional[int]:
+        """The redo start point: no record below this LSN is needed to
+        rebuild any page still dirty in the pool."""
+        with self._page_guard:
+            if not self._page_rec_lsn:
+                return None
+            return min(self._page_rec_lsn.values())
 
     # -- table locks ----------------------------------------------------------
 

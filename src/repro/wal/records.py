@@ -27,7 +27,15 @@ byte payload that redo applies verbatim):
 ``DELETE``      slot (*page_no*, *slot_no*) of *table* tombstoned
 ``DDL``         JSON payload: a logically-replayed statement (CREATE/DROP
                 TABLE, CREATE INDEX, CREATE/DROP VIEW, ANALYZE)
-``CHECKPOINT``  JSON payload: marker written after a checkpoint install
+``CHECKPOINT``  JSON payload: marker written after a quiesced checkpoint
+                install (legacy; kept so old logs stay readable)
+
+``CHECKPOINT_BEGIN``  JSON payload: the fuzzy checkpoint's view of the
+                world as it starts — active-transaction table (ATT) and
+                dirty-page table (DPT, page -> recLSN)
+``CHECKPOINT_END``    JSON payload: the fuzzy checkpoint installed; carries
+                ``redo_lsn`` (where recovery's redo pass starts) and the
+                ``last_lsn`` the snapshot covers
 ==============  ==========================================================
 """
 
@@ -63,6 +71,8 @@ class WalRecordType(enum.IntEnum):
     DELETE = 7
     DDL = 8
     CHECKPOINT = 9
+    CHECKPOINT_BEGIN = 10
+    CHECKPOINT_END = 11
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,10 @@
    (a crash mid-append leaves a short or CRC-broken final frame; the
    record it belonged to was never acknowledged, so discarding it is
    correct, not lossy).
-3. **Redo pass** over records with ``lsn > checkpoint.last_lsn``:
+3. **Redo pass** over records with ``lsn >= checkpoint.redo_lsn`` (a
+   fuzzy checkpoint's redo point is the minimum recLSN over pages it
+   could not flush; quiesced/legacy checkpoints have none and default to
+   ``last_lsn + 1``):
    * page ALLOCs replay for *every* transaction — allocation is physical
      and survives rollback, and later committed records address pages by
      number, so the page space must match the original timeline;
@@ -23,9 +26,11 @@
    from the recovered heaps, re-ANALYZE every table that had statistics.
 
 No undo pass exists: uncommitted transactions' records are simply never
-redone (redo-only, "no-steal at snapshot granularity" — a checkpoint is
-only taken with no transaction in flight, so snapshots never contain
-uncommitted data).
+redone.  This stays sound under *fuzzy* checkpoints because the flush
+pass honours no-steal — a page owned by an in-flight transaction is
+skipped, so snapshots never contain uncommitted data; the price is that
+skipped pages are stale in the snapshot, which is exactly what the
+early ``redo_lsn`` plus idempotent replay repairs.
 """
 
 from __future__ import annotations
@@ -99,11 +104,15 @@ def recover(db, data_dir: str) -> RecoveryReport:
     analyzed: Set[str] = set()
 
     base_lsn = 0
+    redo_lsn = 1
     loaded = load_checkpoint(data_dir)
     if loaded is not None:
         meta, pages = loaded
         report.checkpoint_found = True
         base_lsn = int(meta["last_lsn"])
+        # quiesced/legacy checkpoints carry no redo_lsn: their images are
+        # fully current, so redo starts right after the snapshot
+        redo_lsn = int(meta.get("redo_lsn", base_lsn + 1))
         report.next_txn_id = int(meta["next_txn_id"])
         if meta["page_size"] != db.disk.page_size:
             raise RecoveryError(
@@ -135,13 +144,13 @@ def recover(db, data_dir: str) -> RecoveryReport:
     report.records_scanned = len(records)
 
     committed = committed_txns(records)
-    seen_txns = {r.txn_id for r in records if r.lsn > base_lsn and r.txn_id}
+    seen_txns = {r.txn_id for r in records if r.lsn >= redo_lsn and r.txn_id}
     report.committed_txns = len(committed & seen_txns)
     report.uncommitted_txns = len(seen_txns - committed)
 
     catalog = db.catalog
     for rec in records:
-        if rec.lsn <= base_lsn:
+        if rec.lsn < redo_lsn:
             continue  # the checkpoint snapshot already contains this
         if rec.type is WalRecordType.ALLOC:
             if catalog.has_table(rec.table):
@@ -214,6 +223,8 @@ def _replay_ddl(
     stmt = parse(sql)
     catalog = db.catalog
     if isinstance(stmt, CreateTableStmt):
+        if catalog.has_table(stmt.table):
+            return  # fuzzy redo: the snapshot already carries this table
         schema = Schema(
             Column(c.name, c.dtype, stmt.table, c.nullable)
             for c in stmt.columns

@@ -122,6 +122,85 @@ def test_threaded_sessions_smoke():
     stress(db, threads=4, txns=12, seed=7, make_session=make_session)
 
 
+def test_snapshot_readers_see_committed_prefix():
+    """Snapshot-aware arm: while one writer streams the deterministic
+    ``repro.qa.faults`` workload, concurrent readers scan the whole
+    table.  Every scan must equal the state after *some* committed
+    prefix of the workload (checked against the ``reference_rows``
+    oracle) — never a torn mid-transaction state — and each reader's
+    observed prefix only advances (statement snapshots are
+    read-committed, and commit timestamps only grow)."""
+    from repro.qa import faults
+
+    SEED, TXNS = 13, 40
+    db = Database()
+    db.txn.lock_timeout = 60.0
+    db.execute("CREATE TABLE kv (k INT, v INT)")
+    states = {
+        tuple(faults.reference_rows(SEED, m)): m for m in range(TXNS + 1)
+    }
+    stop = threading.Event()
+    failures = []
+
+    def writer():
+        s = db.create_session()
+        try:
+            for t in range(1, TXNS + 1):
+                s.execute("BEGIN")
+                for op in faults.txn_ops(SEED, t):
+                    if op[0] == "insert":
+                        s.execute(
+                            f"INSERT INTO kv VALUES ({op[1]}, {op[2]})"
+                        )
+                    elif op[0] == "update":
+                        s.execute(
+                            f"UPDATE kv SET v = {op[2]} WHERE k = {op[1]}"
+                        )
+                    else:
+                        s.execute(f"DELETE FROM kv WHERE k = {op[1]}")
+                s.execute("COMMIT")
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            failures.append(("writer", exc))
+        finally:
+            stop.set()
+            s.close()
+
+    def reader(rid):
+        s = db.create_session()
+        last = 0
+        try:
+            reads = 0
+            while not stop.is_set() or reads == 0:
+                rows = tuple(sorted(s.query("SELECT k, v FROM kv").rows))
+                m = states.get(rows)
+                assert m is not None, (
+                    f"reader {rid} observed a state matching no committed "
+                    f"prefix ({len(rows)} rows)"
+                )
+                assert m >= last, (
+                    f"reader {rid} went backwards: prefix {m} after {last}"
+                )
+                last = m
+                reads += 1
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            failures.append((rid, exc))
+        finally:
+            s.close()
+
+    threads = [threading.Thread(target=writer, name="writer")] + [
+        threading.Thread(target=reader, args=(i,), name=f"reader-{i}")
+        for i in range(3)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert not any(t.is_alive() for t in threads), "stress thread hung"
+    assert not failures, f"failures: {failures!r}"
+    final = tuple(sorted(db.query("SELECT k, v FROM kv").rows))
+    assert states[final] == TXNS
+
+
 def test_lock_timeout_is_an_escape_hatch():
     """Under contention a timed-out statement aborts cleanly (no leaked
     locks, no partial writes) and other sessions keep running."""

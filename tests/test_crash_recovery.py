@@ -87,7 +87,8 @@ class TestReplay:
         db.execute("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
         before = os.path.getsize(os.path.join(data_dir, WAL_FILE))
         result = db.execute("CHECKPOINT")
-        assert result.columns == ["checkpoint_lsn"]
+        assert result.columns == ["checkpoint_lsn", "redo_lsn", "active_txns"]
+        assert result.rows[0][2] == 0  # nothing in flight here
         after = os.path.getsize(os.path.join(data_dir, WAL_FILE))
         assert after < before
         db.execute("INSERT INTO t VALUES (4, 40)")
@@ -140,6 +141,45 @@ class TestReplay:
         assert not db2.catalog.has_table("u")
         db2.close()
 
+    def test_fuzzy_checkpoint_does_not_block_open_txn(self, tmp_path):
+        """CHECKPOINT runs to completion while a transaction holds an
+        uncommitted write — no quiesce, no LockTimeout — and the
+        uncommitted rows never reach the snapshot."""
+        data_dir = str(tmp_path / "db")
+        db = fresh(data_dir)
+        db.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+        s = db.create_session()
+        s.execute("BEGIN")
+        s.execute("UPDATE t SET v = -1 WHERE id = 1")
+        result = db.execute("CHECKPOINT")
+        last_lsn, redo_lsn, active = result.rows[0]
+        assert active == 1  # the open txn is in the ATT
+        assert redo_lsn <= last_lsn  # its dirty page forces early redo
+        # crash here: the uncommitted update must not survive
+        db.txn.writer.close()
+        db2 = Database(data_dir=data_dir)
+        assert rows_of(db2) == [(1, 10), (2, 20)]
+        db2.close()
+
+    def test_commit_after_fuzzy_checkpoint_survives(self, tmp_path):
+        """A transaction open *across* the checkpoint that commits
+        afterwards recovers fully: its pages were skipped by the flush
+        pass (stale in the snapshot) and rebuilt by redo from redo_lsn."""
+        data_dir = str(tmp_path / "db")
+        db = fresh(data_dir)
+        db.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+        s = db.create_session()
+        s.execute("BEGIN")
+        s.execute("UPDATE t SET v = 11 WHERE id = 1")
+        db.execute("CHECKPOINT")
+        s.execute("INSERT INTO t VALUES (3, 30)")
+        s.execute("COMMIT")
+        db.txn.writer.flush_all()
+        db2 = Database(data_dir=data_dir)
+        assert db2.last_recovery.checkpoint_found
+        assert rows_of(db2) == [(1, 11), (2, 20), (3, 30)]
+        db2.close()
+
     def test_close_then_reopen_is_clean(self, tmp_path):
         data_dir = str(tmp_path / "db")
         db = fresh(data_dir)
@@ -189,6 +229,11 @@ class TestCrashPoints:
         assert hit_counts.get("wal.append", 0) > 0
         assert hit_counts.get("wal.fsync", 0) > 0
         assert hit_counts.get("checkpoint.page", 0) > 0
+        # the fuzzy-checkpoint sites fire once per CHECKPOINT (flush:
+        # once per committed-dirty page written back)
+        assert hit_counts.get("checkpoint.begin", 0) > 0
+        assert hit_counts.get("checkpoint.flush", 0) > 0
+        assert hit_counts.get("checkpoint.end", 0) > 0
 
     def test_crash_smoke(self, hit_counts, tmp_path):
         points = faults.sweep_points(hit_counts, max_points=1)

@@ -271,3 +271,63 @@ class TestTransactionResultCache:
         result = db.query(QUERY)
         assert db.result_cache.stats.hits == 0
         assert dict(result.rows)[3] == 46
+
+
+class TestSnapshotResultCache:
+    """MVCC snapshots and the result cache: an entry is only valid for
+    readers whose snapshot matches the commit timestamp it was built at.
+    A transaction pinned on an old snapshot must never be served rows
+    cached after later commits — and its snapshot-filtered rows must
+    never be stored where fresher readers would find them."""
+
+    def test_pinned_snapshot_not_served_newer_cached_rows(self):
+        db = make_db(result_cache=True)
+        s = db.create_session()
+        s.execute("BEGIN")
+        assert dict(s.query(QUERY).rows)[3] == 45  # pins the snapshot
+        db.execute("INSERT INTO t VALUES (1000, 3)")  # commits past it
+        db.query(QUERY)  # re-populates the cache with the fresh rows
+        hits0 = db.result_cache.stats.hits
+        mine = s.query(QUERY)  # stale snapshot: lookup must be bypassed
+        assert dict(mine.rows)[3] == 45  # the pinned view, not the cache
+        assert db.result_cache.stats.hits == hits0
+        s.execute("COMMIT")
+        assert dict(db.query(QUERY).rows)[3] == 46
+
+    def test_stale_snapshot_rows_never_poison_cache(self):
+        db = make_db(result_cache=True)
+        s = db.create_session()
+        s.execute("BEGIN")
+        s.query(QUERY)  # pin at 45
+        db.execute("INSERT INTO t VALUES (1000, 3)")  # invalidates entry
+        mine = s.query(QUERY)  # recomputed under the old snapshot
+        assert dict(mine.rows)[3] == 45
+        # ...and must NOT have been stored: a fresh reader re-executes
+        fresh = db.query(QUERY)
+        assert db.result_cache.stats.hits == 0
+        assert dict(fresh.rows)[3] == 46
+        s.execute("ROLLBACK")
+
+    def test_current_snapshot_still_hits(self):
+        # no over-bypass: a pinned snapshot that *is* current (nothing
+        # committed since) keeps full cache service
+        db = make_db(result_cache=True)
+        s = db.create_session()
+        s.execute("BEGIN")
+        first = s.query(QUERY)
+        again = s.query(QUERY)
+        assert again.rows == first.rows
+        assert db.result_cache.stats.hits == 1
+        s.execute("COMMIT")
+
+    def test_autocommit_statement_snapshots_share_entries(self):
+        # read-committed statement snapshots advance with every commit,
+        # so successive autocommit SELECTs from different sessions all
+        # sit at the current timestamp and share one entry
+        db = make_db(result_cache=True)
+        s1, s2 = db.create_session(), db.create_session()
+        s1.query(QUERY)
+        s2.query(QUERY)
+        assert db.result_cache.stats.hits == 1
+        s1.close()
+        s2.close()

@@ -1,0 +1,295 @@
+"""MVCC snapshot isolation: the reader-side concurrency contract.
+
+SELECTs run against a commit-timestamp snapshot instead of taking shared
+table locks, so they never block on writers and never observe
+uncommitted state.  These tests pin the contract with *scripted
+interleavings* — two or three sessions stepped explicitly (and, for the
+non-blocking guarantees, real threads coordinated by events):
+
+* no dirty reads — an uncommitted write is invisible to every other
+  session, whichever scan path (heap, index, columnar) serves the read;
+* repeatable reads — a transaction's first SELECT pins its snapshot;
+  later SELECTs see the same state even as other sessions commit;
+* read committed — autocommit SELECTs take a fresh statement snapshot
+  and see each commit as it lands;
+* read-your-own-writes — a transaction sees its own uncommitted changes;
+* non-blocking — a SELECT completes while another session *holds the
+  table's write lock*, proven with a writer thread parked mid-txn.
+"""
+
+import threading
+
+import pytest
+
+from repro import Database
+
+
+def make_db(**kwargs):
+    db = Database(**kwargs)
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT, s TEXT)")
+    db.execute(
+        "INSERT INTO t VALUES "
+        + ", ".join(f"({i}, {i * 10}, 'r{i}')" for i in range(1, 6))
+    )
+    return db
+
+
+BASELINE = [(i, i * 10, f"r{i}") for i in range(1, 6)]
+
+
+def all_rows(session):
+    return session.query("SELECT id, v, s FROM t ORDER BY id").rows
+
+
+class TestNoDirtyReads:
+    def test_uncommitted_update_invisible(self):
+        db = make_db()
+        s1, s2 = db.create_session(), db.create_session()
+        s1.execute("BEGIN")
+        s1.execute("UPDATE t SET v = -1 WHERE id <= 2")
+        assert all_rows(s2) == BASELINE
+        s1.execute("COMMIT")
+        assert all_rows(s2)[0] == (1, -1, "r1")
+
+    def test_uncommitted_insert_invisible(self):
+        db = make_db()
+        s1, s2 = db.create_session(), db.create_session()
+        s1.execute("BEGIN")
+        s1.execute("INSERT INTO t VALUES (6, 60, 'r6')")
+        assert all_rows(s2) == BASELINE
+        s1.execute("ROLLBACK")
+        assert all_rows(s2) == BASELINE
+
+    def test_uncommitted_delete_invisible(self):
+        db = make_db()
+        s1, s2 = db.create_session(), db.create_session()
+        s1.execute("BEGIN")
+        s1.execute("DELETE FROM t WHERE id = 3")
+        # the deleted row is resurrected into the scan (ghost path)
+        assert all_rows(s2) == BASELINE
+        s1.execute("COMMIT")
+        assert len(all_rows(s2)) == 4
+
+    def test_index_point_lookup_sees_pre_image(self):
+        db = make_db()
+        s1, s2 = db.create_session(), db.create_session()
+        s1.execute("BEGIN")
+        s1.execute("UPDATE t SET v = -1 WHERE id = 1")
+        s1.execute("DELETE FROM t WHERE id = 2")
+        # both go through the pk btree: id=1 must show the pre-image,
+        # id=2 must be injected back in key order
+        assert s2.query("SELECT v FROM t WHERE id = 1").rows == [(10,)]
+        assert s2.query("SELECT v FROM t WHERE id = 2").rows == [(20,)]
+        assert s2.query(
+            "SELECT id FROM t WHERE id > 0 ORDER BY id"
+        ).rows == [(i,) for i in range(1, 6)]
+        s1.execute("ROLLBACK")
+
+    def test_columnar_scan_sees_pre_image(self):
+        db = make_db(columnar=True)
+        s1, s2 = db.create_session(), db.create_session()
+        s1.execute("BEGIN")
+        s1.execute("UPDATE t SET v = 9999 WHERE id = 4")
+        # the vectorized path must fall back to visibility-filtered rows
+        # (zone maps reflect the live heap, not the snapshot)
+        assert s2.query("SELECT SUM(v) FROM t").rows == [(150,)]
+        assert s2.query("SELECT id FROM t WHERE v > 100").rows == []
+        s1.execute("COMMIT")
+        assert s2.query("SELECT id FROM t WHERE v > 100").rows == [(4,)]
+
+
+class TestRepeatableReads:
+    def test_snapshot_pinned_at_first_select(self):
+        db = make_db()
+        s1, s2 = db.create_session(), db.create_session()
+        s2.execute("BEGIN")
+        first = all_rows(s2)  # pins the snapshot
+        s1.execute("UPDATE t SET v = 0 WHERE id = 1")  # autocommit
+        s1.execute("INSERT INTO t VALUES (6, 60, 'r6')")
+        s1.execute("DELETE FROM t WHERE id = 5")
+        assert all_rows(s2) == first == BASELINE
+        assert s2.query("SELECT COUNT(*) FROM t").rows == [(5,)]
+        s2.execute("COMMIT")
+        # snapshot released: the committed world is visible
+        rows = all_rows(s2)
+        assert (6, 60, "r6") in rows
+        assert rows[0] == (1, 0, "r1")
+        assert all(r[0] != 5 for r in rows)
+
+    def test_aggregates_and_joins_read_one_view(self):
+        db = make_db()
+        db.execute("CREATE TABLE u (id INT PRIMARY KEY, w INT)")
+        db.execute("INSERT INTO u VALUES (1, 100), (2, 200)")
+        s1, s2 = db.create_session(), db.create_session()
+        s2.execute("BEGIN")
+        s2.query("SELECT COUNT(*) FROM t")  # pin
+        s1.execute("UPDATE u SET w = 0 WHERE id = 1")
+        s1.execute("UPDATE t SET v = 0 WHERE id = 1")
+        joined = s2.query(
+            "SELECT t.id, t.v, u.w FROM t JOIN u ON t.id = u.id "
+            "ORDER BY t.id"
+        ).rows
+        assert joined == [(1, 10, 100), (2, 20, 200)]
+        s2.execute("ROLLBACK")
+
+    def test_rollback_releases_snapshot(self):
+        db = make_db()
+        s2 = db.create_session()
+        s2.execute("BEGIN")
+        s2.query("SELECT COUNT(*) FROM t")
+        assert db.txn.versions.active_snapshots() == 1
+        s2.execute("ROLLBACK")
+        assert db.txn.versions.active_snapshots() == 0
+
+
+class TestReadCommitted:
+    def test_autocommit_selects_track_commits(self):
+        db = make_db()
+        s1, s2 = db.create_session(), db.create_session()
+        for new_v in (111, 222, 333):
+            s1.execute(f"UPDATE t SET v = {new_v} WHERE id = 1")
+            assert s2.query("SELECT v FROM t WHERE id = 1").rows == [
+                (new_v,)
+            ]
+
+    def test_versions_pruned_when_no_snapshots_open(self):
+        db = make_db()
+        s1 = db.create_session()
+        for i in range(10):
+            s1.execute(f"UPDATE t SET v = {i} WHERE id = 2")
+        # no reader pins anything: chains collapse behind the commits
+        assert db.txn.versions.live_versions() == 0
+        assert db.txn.versions.versions_pruned > 0
+
+
+class TestReadYourOwnWrites:
+    def test_txn_sees_its_uncommitted_changes(self):
+        db = make_db()
+        s1 = db.create_session()
+        s1.execute("BEGIN")
+        s1.query("SELECT COUNT(*) FROM t")  # pin the snapshot first
+        s1.execute("UPDATE t SET v = -1 WHERE id = 1")
+        s1.execute("INSERT INTO t VALUES (6, 60, 'r6')")
+        s1.execute("DELETE FROM t WHERE id = 5")
+        rows = all_rows(s1)
+        assert rows[0] == (1, -1, "r1")
+        assert (6, 60, "r6") in rows
+        assert all(r[0] != 5 for r in rows)
+        s1.execute("ROLLBACK")
+        assert all_rows(s1) == BASELINE
+
+
+class TestNonBlocking:
+    def test_select_completes_while_write_lock_held(self):
+        """The acceptance interleaving: a writer thread parks *inside*
+        its transaction holding t's exclusive lock; the reader's SELECT
+        must complete (with the pre-transaction state) while the lock is
+        demonstrably still held, without waiting for the writer."""
+        db = make_db()
+        db.txn.lock_timeout = 5.0
+        holding = threading.Event()
+        release = threading.Event()
+        done = []
+
+        def writer():
+            s = db.create_session()
+            s.execute("BEGIN")
+            s.execute("UPDATE t SET v = -1 WHERE id <= 5")  # locks t
+            holding.set()
+            release.wait(timeout=30)
+            s.execute("COMMIT")
+            done.append(True)
+            s.close()
+
+        w = threading.Thread(target=writer)
+        w.start()
+        assert holding.wait(timeout=30)
+        reader = db.create_session()
+        try:
+            # the writer is parked mid-transaction: the lock is held, the
+            # update uncommitted — and this read returns immediately
+            assert all_rows(reader) == BASELINE
+            assert not done, "reader must not have waited for COMMIT"
+        finally:
+            release.set()
+            w.join(timeout=30)
+        assert done
+        assert all_rows(reader)[0] == (1, -1, "r1")
+
+    def test_reader_snapshot_spans_writer_commit(self):
+        """Barrier-stepped: reader pins → writer commits → reader
+        re-reads its frozen view → reader commits → sees the new world."""
+        db = make_db()
+        steps = threading.Barrier(2, timeout=30)
+        observed = {}
+
+        def reader():
+            s = db.create_session()
+            s.execute("BEGIN")
+            observed["pinned"] = all_rows(s)
+            steps.wait()  # 1: snapshot pinned
+            steps.wait()  # 2: writer committed
+            observed["repeat"] = all_rows(s)
+            s.execute("COMMIT")
+            observed["fresh"] = all_rows(s)
+            s.close()
+
+        def writer():
+            s = db.create_session()
+            steps.wait()  # 1: reader has pinned
+            s.execute("DELETE FROM t WHERE id = 1")
+            steps.wait()  # 2: committed
+            s.close()
+
+        threads = [threading.Thread(target=f) for f in (reader, writer)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert observed["pinned"] == BASELINE
+        assert observed["repeat"] == BASELINE  # repeatable despite commit
+        assert observed["fresh"] == BASELINE[1:]  # post-commit world
+
+
+class TestVersionStoreHygiene:
+    def test_drop_table_purges_chains(self):
+        db = make_db()
+        s1 = db.create_session()
+        s2 = db.create_session()
+        s2.execute("BEGIN")
+        s2.query("SELECT COUNT(*) FROM t")  # pin, so chains are retained
+        s1.execute("UPDATE t SET v = 0 WHERE id = 1")
+        assert db.txn.versions.live_versions() > 0
+        s2.execute("COMMIT")
+        db.execute("DROP TABLE t")
+        assert "t" not in db.txn.versions.tables_with_versions()
+        # a recreated table must not inherit the old chains
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT, s TEXT)")
+        db.execute("INSERT INTO t VALUES (1, 1, 'x')")
+        assert db.query("SELECT id, v FROM t").rows == [(1, 1)]
+
+    def test_snapshot_columns_in_activity(self):
+        db = make_db()
+        s = db.create_session()
+        s.execute("BEGIN")
+        s.query("SELECT COUNT(*) FROM t")
+        rows = db.query(
+            "SELECT session_id, state, snapshot_ts, snapshot_age_ms "
+            "FROM sys_stat_activity"
+        ).rows
+        pinned = [r for r in rows if r[0] == s.id]
+        assert pinned and pinned[0][1] == "idle in transaction"
+        assert pinned[0][2] is not None  # the pinned snapshot's ts
+        assert pinned[0][3] >= 0.0
+        s.execute("ROLLBACK")
+
+    def test_explain_analyze_reads_through_snapshot(self):
+        db = make_db()
+        s1, s2 = db.create_session(), db.create_session()
+        s1.execute("BEGIN")
+        s1.execute("UPDATE t SET v = -1 WHERE id = 1")
+        plan_text = s2.execute(
+            "EXPLAIN ANALYZE SELECT v FROM t WHERE id = 1"
+        ).rows
+        assert plan_text  # ran to completion without blocking
+        s1.execute("ROLLBACK")

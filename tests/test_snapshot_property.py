@@ -1,0 +1,170 @@
+"""Property test: random interleavings of sessions vs. a snapshot model.
+
+Hypothesis generates arbitrary single-threaded interleavings of
+BEGIN / SELECT / UPDATE / INSERT / DELETE / COMMIT / ROLLBACK across two
+or three sessions, each owning its own table (writers take
+table-exclusive locks, so disjoint write targets keep interleavings
+lock-free while reads roam everywhere).  A pure-Python model tracks what
+every read *must* return under snapshot isolation:
+
+* a transaction's first SELECT freezes the committed state of every
+  table (repeatable reads from then on);
+* the transaction's own staged writes overlay its frozen view
+  (read-your-own-writes, including deletes);
+* autocommit SELECTs see exactly the current committed state
+  (read committed);
+* ROLLBACK discards staged writes without disturbing anyone's view.
+
+Any divergence — a read seeing a torn state, a lost or leaked write, a
+snapshot drifting — fails with the generated interleaving as the
+reproducer.
+"""
+
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+
+#: nightly CI raises this for a deeper soak (see .github/workflows)
+EXAMPLES = int(os.environ.get("REPRO_SNAPSHOT_EXAMPLES", "40"))
+
+N_SESSIONS = 3
+SEED_KEYS = 3  # every table starts as {0: 0, 1: 0, 2: 0}
+
+#: staged-delete sentinel in the model
+DELETED = object()
+
+ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=N_SESSIONS - 1),  # session
+        st.sampled_from(
+            ("begin", "commit", "rollback", "read", "update", "delete",
+             "insert")
+        ),
+        st.integers(min_value=0, max_value=SEED_KEYS - 1),  # key / table
+        st.integers(min_value=1, max_value=99),  # value
+    ),
+    max_size=40,
+)
+
+
+class _SessionModel:
+    def __init__(self, own):
+        self.own = own
+        self.in_txn = False
+        #: committed state of every table, frozen at the first SELECT
+        self.pinned = None
+        #: own-table writes staged by the open transaction
+        self.staged = {}
+
+
+def _expected_rows(committed, s, table):
+    """What snapshot isolation requires a SELECT on *table* to return."""
+    if s.in_txn:
+        if s.pinned is None:
+            s.pinned = {t: dict(state) for t, state in committed.items()}
+        base = dict(s.pinned[table])
+    else:
+        base = dict(committed[table])
+    if s.in_txn and table == s.own:
+        for k, v in s.staged.items():
+            if v is DELETED:
+                base.pop(k, None)
+            else:
+                base[k] = v
+    return sorted(base.items())
+
+
+@settings(max_examples=EXAMPLES, deadline=None)
+@given(ops)
+def test_random_interleavings_match_snapshot_model(script):
+    db = Database()
+    committed = {}
+    sessions = []
+    for i in range(N_SESSIONS):
+        db.execute(f"CREATE TABLE t{i} (k INT, v INT)")
+        db.execute(
+            f"INSERT INTO t{i} VALUES "
+            + ", ".join(f"({k}, 0)" for k in range(SEED_KEYS))
+        )
+        committed[i] = {k: 0 for k in range(SEED_KEYS)}
+        sessions.append((db.create_session(), _SessionModel(own=i)))
+    next_insert_key = [100 + i for i in range(N_SESSIONS)]
+
+    try:
+        for sid, op, key, value in script:
+            conn, s = sessions[sid]
+            if op == "begin":
+                if s.in_txn:
+                    continue
+                conn.execute("BEGIN")
+                s.in_txn = True
+            elif op == "commit":
+                if not s.in_txn:
+                    continue
+                conn.execute("COMMIT")
+                for k, v in s.staged.items():
+                    if v is DELETED:
+                        committed[s.own].pop(k, None)
+                    else:
+                        committed[s.own][k] = v
+                s.in_txn, s.pinned, s.staged = False, None, {}
+            elif op == "rollback":
+                if not s.in_txn:
+                    continue
+                conn.execute("ROLLBACK")
+                s.in_txn, s.pinned, s.staged = False, None, {}
+            elif op == "read":
+                table = key % N_SESSIONS  # reads roam over every table
+                got = conn.query(
+                    f"SELECT k, v FROM t{table} ORDER BY k"
+                ).rows
+                want = _expected_rows(committed, s, table)
+                assert got == [
+                    (k, v) for k, v in want
+                ], f"session {sid} read t{table}: got {got}, want {want}"
+            elif op == "update":
+                conn.execute(
+                    f"UPDATE t{s.own} SET v = {value} WHERE k = {key}"
+                )
+                # the UPDATE acts on the *live* own-table state (committed
+                # overlaid with staged) — never on the pinned snapshot,
+                # and it must not pin one either
+                live = dict(committed[s.own])
+                for k, v in s.staged.items():
+                    if v is DELETED:
+                        live.pop(k, None)
+                    else:
+                        live[k] = v
+                if key in live:
+                    target = s.staged if s.in_txn else committed[s.own]
+                    target[key] = value
+            elif op == "delete":
+                conn.execute(f"DELETE FROM t{s.own} WHERE k = {key}")
+                if s.in_txn:
+                    s.staged[key] = DELETED
+                else:
+                    committed[s.own].pop(key, None)
+            else:  # insert: always a fresh key, so tables stay duplicate-free
+                k = next_insert_key[sid]
+                next_insert_key[sid] += N_SESSIONS
+                conn.execute(f"INSERT INTO t{s.own} VALUES ({k}, {value})")
+                if s.in_txn:
+                    s.staged[k] = value
+                else:
+                    committed[s.own][k] = value
+
+        # resolve stragglers, then the final committed state must match
+        for conn, s in sessions:
+            if s.in_txn:
+                conn.execute("ROLLBACK")
+                s.in_txn, s.pinned, s.staged = False, None, {}
+        for i in range(N_SESSIONS):
+            got = db.query(f"SELECT k, v FROM t{i} ORDER BY k").rows
+            assert got == sorted(committed[i].items())
+        assert db.txn.versions.active_snapshots() == 0
+    finally:
+        for conn, _ in sessions:
+            conn.close()

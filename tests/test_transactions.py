@@ -160,8 +160,26 @@ class TestLocking:
         s1.close()
         s2.close()
 
-    def test_read_blocks_on_writer_lock(self):
+    def test_read_does_not_block_on_writer_lock(self):
+        """MVCC contract: a SELECT against a table whose write lock is
+        held by an uncommitted transaction completes immediately — and
+        sees the pre-transaction state, not the in-flight delete."""
         db = make_db()
+        db.txn.lock_timeout = 0.2  # any lock wait would blow up fast
+        s1 = db.create_session()
+        s2 = db.create_session()
+        s1.execute("BEGIN")
+        s1.execute("DELETE FROM t WHERE id = 1")
+        assert s2.query("SELECT COUNT(*) FROM t").rows == [(5,)]
+        s1.execute("COMMIT")
+        assert s2.query("SELECT COUNT(*) FROM t").rows == [(4,)]
+        s1.close()
+        s2.close()
+
+    def test_read_blocks_when_mvcc_disabled(self):
+        """The escape hatch keeps the old semantics: with mvcc=False
+        readers take shared locks and time out against a writer."""
+        db = make_db(mvcc=False)
         db.txn.lock_timeout = 0.2
         s1 = db.create_session()
         s2 = db.create_session()
