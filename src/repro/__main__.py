@@ -9,7 +9,9 @@ with ``;``.  Meta-commands:
 * ``\\timing``       — toggle per-query metrics
 * ``\\metrics``      — dump the process-wide metrics snapshot (JSON);
   ``\\metrics prom`` renders Prometheus text exposition instead
-* ``\\trace``        — show the last query's planner/executor span tree
+* ``\\trace``        — show the last request's span tree (trace id,
+  lock/WAL/MVCC spans included); ``\\trace export FILE`` writes the last
+  request trace as Chrome trace-event JSON for Perfetto/chrome://tracing
 * ``\\search``       — show the optimizer's search trace for the last
   planned query (ranked join-order/access-path alternatives)
 * ``\\qlog [N]``     — last N query-log records (default 10) with q-error
@@ -24,7 +26,7 @@ with ``;``.  Meta-commands:
 * ``\\q``            — quit
 
 The ``sys_stat_*`` system tables (statements, tables, waits, metrics,
-activity) are ordinary SELECT targets — e.g.
+activity, traces, locks) are ordinary SELECT targets — e.g.
 ``SELECT * FROM sys_stat_statements ORDER BY total_ms DESC LIMIT 5;``.
 """
 
@@ -101,10 +103,23 @@ def main(argv=None) -> int:
                 else:
                     print(json.dumps(db.metrics_snapshot(), indent=2))
             elif command == "\\trace":
-                if db.last_trace is None:
-                    print("no query traced yet")
-                else:
+                if len(parts) > 2 and parts[1] == "export":
+                    try:
+                        db.last_trace_export(parts[2])
+                        print(
+                            f"wrote {parts[2]} — open it in "
+                            "https://ui.perfetto.dev or chrome://tracing"
+                        )
+                    except Exception as exc:
+                        print(f"error: {exc}")
+                elif len(parts) > 1 and parts[1] == "export":
+                    print("usage: \\trace export FILE")
+                elif db.last_request_trace is not None:
+                    print(db.last_request_trace.pretty())
+                elif db.last_trace is not None:
                     print(db.last_trace.pretty())
+                else:
+                    print("no query traced yet")
             elif command == "\\search":
                 if db.last_search is None or not len(db.last_search):
                     print("no search trace yet (plan a SELECT first)")

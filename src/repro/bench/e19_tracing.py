@@ -1,0 +1,103 @@
+"""E19 — request-tracing overhead on the serving path.
+
+Observability that nobody dares leave on is observability that is off
+when the incident happens.  This experiment prices the request-tracing
+stack introduced for the serving path — span trees with identity,
+thread-local propagation into the WAL/lock/MVCC layers, latency
+histograms — on a mixed point-read/DML workload executed through
+sessions (the server's execution path, minus the socket):
+
+* ``obs off``          — ``ObsConfig.off()``: no tracing, no metrics, no
+  query log (the uninstrumented ceiling);
+* ``tracing off``      — default observability with ``trace=False``:
+  metrics and the query log stay on, no span trees;
+* ``tracing on``       — the default configuration: every statement
+  builds its span tree (lock.acquire, execute, wal.append, wal.fsync,
+  txn.commit, mvcc.*), latency quantiles accumulate;
+* ``tracing + capture``— tracing with ``auto_explain`` at threshold 0,
+  so every request is additionally wrapped into a
+  :class:`~repro.obs.trace.RequestTrace` and pushed through the
+  slow-trace ring.
+
+The acceptance bar: default tracing costs at most a few percent over
+``tracing off`` — the tree is a handful of spans per statement, each one
+``perf_counter`` pair and one list append.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Tuple
+
+from ..engine import Database
+from ..obs import ObsConfig
+from .tables import Ratio, ResultTable
+
+
+def _workload(db: Database, statements: int) -> None:
+    """Alternate point inserts and point reads through a session — the
+    same per-statement path a server connection exercises."""
+    session = db.create_session()
+    try:
+        for i in range(statements):
+            if i % 2 == 0:
+                session.execute(f"INSERT INTO kv VALUES ({i}, {i % 97})")
+            else:
+                session.query(f"SELECT v FROM kv WHERE k = {i - 1}")
+    finally:
+        session.close()
+
+
+def _measure(config: str, statements: int, repeats: int) -> Tuple[float, int]:
+    """(best seconds over *repeats*, spans in the last trace)."""
+    best = float("inf")
+    spans = 0
+    for _ in range(repeats):
+        if config == "obs off":
+            db = Database(obs=ObsConfig.off())
+        else:
+            db = Database()
+            db.obs.trace = config != "tracing off"
+            if config == "tracing + capture":
+                db.auto_explain.configure(enabled=True, threshold_ms=0.0)
+        try:
+            db.execute("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+            start = time.perf_counter()
+            _workload(db, statements)
+            best = min(best, time.perf_counter() - start)
+            if db.last_trace is not None:
+                spans = sum(1 for _ in db.last_trace.walk())
+        finally:
+            db.close()
+    return best, spans
+
+
+def run(statements: int = 600, repeats: int = 3) -> List[ResultTable]:
+    table = ResultTable(
+        "E19 — request-tracing overhead (session point insert/read mix)",
+        [
+            "configuration",
+            "statements/s",
+            "spans/stmt",
+            "overhead vs tracing-off",
+        ],
+        notes=(
+            f"{statements} alternating point inserts and reads per arm, "
+            f"best of {repeats} runs; 'overhead' compares against the "
+            "same observability config with span trees disabled — the "
+            "marginal price of tracing itself"
+        ),
+    )
+    configs = ("obs off", "tracing off", "tracing on", "tracing + capture")
+    results = {c: _measure(c, statements, repeats) for c in configs}
+    baseline = statements / results["tracing off"][0]
+    for config in configs:
+        elapsed, spans = results[config]
+        rate = statements / elapsed if elapsed else 0.0
+        table.add(
+            config,
+            round(rate, 1),
+            spans,
+            Ratio(baseline / rate if rate else 0.0),
+        )
+    return [table]

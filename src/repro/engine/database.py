@@ -40,16 +40,22 @@ from ..obs import (
     PlanBaselineStore,
     QueryLog,
     QueryLogRecord,
+    RequestTrace,
     SearchTrace,
     Span,
+    StatementLatency,
+    TraceRing,
     Tracer,
     WaitEventStats,
+    activate_tracer,
+    chrome_trace_events,
     plan_diff,
     plan_fingerprint,
     plan_shape_text,
     q_error,
     register_system_tables,
     statement_fingerprint,
+    trace_span,
 )
 from ..optimizer import CostModel, Planner, PlannerOptions, PlannerStats
 from ..physical import PhysicalPlan, walk_plan
@@ -167,6 +173,18 @@ class Database:
         self.metrics = MetricsRegistry()
         self.query_log = QueryLog(self.obs.query_log_size)
         self.last_trace: Optional[Span] = None
+        #: the most recent request's full trace (id + span tree), kept
+        #: regardless of duration; ``last_trace_export()`` renders it
+        self.last_request_trace: Optional[RequestTrace] = None
+        #: bounded ring of *slow* request traces — captured when
+        #: auto_explain is enabled and the request crosses its threshold
+        #: (one knob for both capture paths); served by ``sys_stat_traces``
+        self.traces = TraceRing(self.obs.trace_ring_size)
+        #: per-fingerprint statement latency quantiles (log-bucketed),
+        #: surfaced as ``statement_latency_ms`` in the Prometheus export
+        self.latency = StatementLatency(
+            max_fingerprints=self.obs.latency_fingerprints
+        )
         #: plan baselines per normalized statement (plan-change detection)
         self.baselines = PlanBaselineStore()
         #: est-vs-actual cardinality evidence, harvested from executions;
@@ -262,7 +280,9 @@ class Database:
         """COMMIT: make durable, release locks, then publish the buffered
         write epochs so other sessions' cached results go stale only for
         writes that actually committed."""
-        self.txn.commit(txn)
+        with trace_span("txn.commit") as sp:
+            sp.add("txn_id", float(txn.id))
+            self.txn.commit(txn)
         for key, bumps in txn.pending_epochs.items():
             self._write_epochs[key] = self._write_epochs.get(key, 0) + bumps
         txn.pending_epochs.clear()
@@ -271,8 +291,10 @@ class Database:
         # undo mutates heaps and indexes, so it runs as a statement
         # (lock ordering is safe: a statement-lock holder never waits on
         # table locks — those are always acquired first)
-        with self._stmt_lock:
-            self.txn.rollback(txn, self.catalog)
+        with trace_span("txn.rollback") as sp:
+            sp.add("txn_id", float(txn.id))
+            with self._stmt_lock:
+                self.txn.rollback(txn, self.catalog)
 
     def _begin(self, session: Session) -> QueryResult:
         if session.txn is not None:
@@ -294,33 +316,50 @@ class Database:
     # -- statement dispatch ------------------------------------------------------------
 
     def execute(
-        self, sql: str, session: Optional[Session] = None
+        self,
+        sql: str,
+        session: Optional[Session] = None,
+        trace_id: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
     ) -> QueryResult:
-        """Parse and run one statement of any kind."""
+        """Parse and run one statement of any kind.
+
+        *trace_id* names the request in the trace this statement opens
+        (client-supplied distributed tracing; generated when omitted).
+        An externally owned *tracer* (the server's per-request root span)
+        is used as-is and **not** finalized here — the owner closes its
+        root span and calls :meth:`capture_trace`.
+        """
         session = session or self._session
-        tracer = self._new_tracer()
-        with tracer.span("query"):
-            with tracer.span("parse"):
-                stmt = parse(sql)
-            if isinstance(stmt, SelectStmt):
-                result = self._run_select(
-                    stmt, sql=sql, tracer=tracer, session=session
-                )
-            elif isinstance(stmt, ExplainStmt):
-                result = self._explain(stmt, sql, tracer, session)
-            elif isinstance(stmt, BeginStmt):
-                return self._begin(session)
-            elif isinstance(stmt, CommitStmt):
-                return self._commit(session)
-            elif isinstance(stmt, RollbackStmt):
-                return self._rollback(session)
-            elif isinstance(stmt, CheckpointStmt):
-                return self.checkpoint()
-            else:
-                return self._execute_other(stmt, sql, session)
-        if tracer.root is not None:
+        external = tracer is not None
+        if tracer is None:
+            tracer = self._new_tracer(trace_id)
+        # the active tracer lets deep layers (WAL append/fsync, table
+        # locks, MVCC) open spans without threading it through signatures
+        with activate_tracer(tracer):
+            with tracer.span("query"):
+                with tracer.span("parse"):
+                    stmt = parse(sql)
+                if isinstance(stmt, SelectStmt):
+                    result = self._run_select(
+                        stmt, sql=sql, tracer=tracer, session=session
+                    )
+                elif isinstance(stmt, ExplainStmt):
+                    result = self._explain(stmt, sql, tracer, session)
+                elif isinstance(stmt, BeginStmt):
+                    result = self._begin(session)
+                elif isinstance(stmt, CommitStmt):
+                    result = self._commit(session)
+                elif isinstance(stmt, RollbackStmt):
+                    result = self._rollback(session)
+                elif isinstance(stmt, CheckpointStmt):
+                    result = self.checkpoint()
+                else:
+                    result = self._execute_other(stmt, sql, session)
+        if not external and tracer.root is not None:
             result.trace = tracer.root
             self.last_trace = tracer.root
+            self.capture_trace(tracer, sql, session_id=session.id)
         return result
 
     def _explain(
@@ -435,7 +474,7 @@ class Database:
         """DDL / DML / utility statements (everything but SELECT/EXPLAIN)."""
         session = session or self._session
         if isinstance(stmt, (InsertStmt, DeleteStmt, UpdateStmt)):
-            return self._execute_dml(stmt, session)
+            return self._execute_dml(stmt, session, sql=sql)
         if session.txn is not None:
             raise EngineError(
                 "DDL and utility statements autocommit and cannot run "
@@ -467,7 +506,9 @@ class Database:
         self._commit_txn(txn)
         return result
 
-    def _execute_dml(self, stmt: Any, session: Session) -> QueryResult:
+    def _execute_dml(
+        self, stmt: Any, session: Session, sql: Optional[str] = None
+    ) -> QueryResult:
         """INSERT/UPDATE/DELETE under the session's transaction (or an
         implicit autocommitted one).  The table write lock is taken
         *before* the statement lock — lock waits must not block the
@@ -475,18 +516,30 @@ class Database:
         statement lock is released (group commit batching)."""
         own = session.txn
         txn = own if own is not None else self.txn.begin(session.id)
+        start = time.perf_counter()
+        dstats = self.disk.stats
+        reads0, writes0 = dstats.reads, dstats.writes
         try:
             self.txn.lock_table(txn, stmt.table)
             with self.txn.activate(txn), self._stmt_lock:
-                if isinstance(stmt, InsertStmt):
-                    self._insert(stmt)
-                    result = QueryResult(rows=[], columns=[])
-                elif isinstance(stmt, DeleteStmt):
-                    count = self._delete(stmt)
-                    result = QueryResult(rows=[(count,)], columns=["deleted"])
-                else:
-                    count = self._update(stmt)
-                    result = QueryResult(rows=[(count,)], columns=["updated"])
+                with trace_span("execute") as sp:
+                    if isinstance(stmt, InsertStmt):
+                        count = self._insert(stmt)
+                        kind = "insert"
+                        result = QueryResult(rows=[], columns=[])
+                    elif isinstance(stmt, DeleteStmt):
+                        count = self._delete(stmt)
+                        kind = "delete"
+                        result = QueryResult(
+                            rows=[(count,)], columns=["deleted"]
+                        )
+                    else:
+                        count = self._update(stmt)
+                        kind = "update"
+                        result = QueryResult(
+                            rows=[(count,)], columns=["updated"]
+                        )
+                    sp.add("rows_modified", float(count))
                 key = stmt.table.lower()
                 txn.pending_epochs[key] = txn.pending_epochs.get(key, 0) + 1
         except BaseException:
@@ -498,7 +551,60 @@ class Database:
             raise
         if own is None:
             self._commit_txn(txn)
+        if sql is not None:
+            # statement latency as the client saw it: for autocommit DML
+            # the elapsed time includes the COMMIT's (group-batched) fsync
+            self._record_dml(
+                sql,
+                kind,
+                count,
+                session,
+                txn,
+                time.perf_counter() - start,
+                dstats.reads - reads0,
+                dstats.writes - writes0,
+            )
         return result
+
+    def _record_dml(
+        self,
+        sql: str,
+        kind: str,
+        count: int,
+        session: Session,
+        txn: Transaction,
+        elapsed: float,
+        reads: int,
+        writes: int,
+    ) -> None:
+        """Feed one finished DML statement into the metrics registry, the
+        latency store, and the query log (with session/txn attribution) —
+        the write-side twin of :meth:`_record_query`."""
+        fingerprint = statement_fingerprint(sql)
+        if self.obs.metrics:
+            m = self.metrics
+            m.counter("dml_statements_total").inc()
+            m.counter("rows_modified_total").inc(count)
+            m.histogram("dml_execution_ms").observe(elapsed * 1000.0)
+            self.latency.observe(fingerprint, elapsed * 1000.0)
+        if self.query_log.capacity > 0:
+            self.query_log.record(
+                QueryLogRecord(
+                    sql=sql,
+                    fingerprint=fingerprint,
+                    est_rows=float(count),
+                    actual_rows=count,
+                    q_error=1.0,
+                    est_cost=0.0,
+                    actual_reads=reads,
+                    actual_writes=writes,
+                    planning_ms=0.0,
+                    execution_ms=elapsed * 1000.0,
+                    kind=kind,
+                    session_id=session.id,
+                    txn_id=txn.id,
+                )
+            )
 
     def _utility_lock_targets(self, stmt: Any) -> List[str]:
         """Tables a DDL/utility statement must quiesce before running."""
@@ -595,21 +701,29 @@ class Database:
         raise EngineError(f"unsupported statement {type(stmt).__name__}")
 
     def query(
-        self, sql: str, session: Optional[Session] = None
+        self,
+        sql: str,
+        session: Optional[Session] = None,
+        trace_id: Optional[str] = None,
     ) -> QueryResult:
         """Run a SELECT and return rows + metrics."""
-        tracer = self._new_tracer()
-        with tracer.span("query"):
-            with tracer.span("parse"):
-                stmt = parse(sql)
-            if not isinstance(stmt, SelectStmt):
-                raise EngineError("query() expects a SELECT; use execute()")
-            result = self._run_select(
-                stmt, sql=sql, tracer=tracer, session=session or self._session
-            )
+        session = session or self._session
+        tracer = self._new_tracer(trace_id)
+        with activate_tracer(tracer):
+            with tracer.span("query"):
+                with tracer.span("parse"):
+                    stmt = parse(sql)
+                if not isinstance(stmt, SelectStmt):
+                    raise EngineError(
+                        "query() expects a SELECT; use execute()"
+                    )
+                result = self._run_select(
+                    stmt, sql=sql, tracer=tracer, session=session
+                )
         if tracer.root is not None:
             result.trace = tracer.root
             self.last_trace = tracer.root
+            self.capture_trace(tracer, sql, session_id=session.id)
         return result
 
     # -- planning ---------------------------------------------------------------------------
@@ -1078,8 +1192,55 @@ class Database:
             execution_seconds=elapsed,
         )
 
-    def _new_tracer(self) -> Tracer:
-        return Tracer(enabled=self.obs.trace)
+    def _new_tracer(self, trace_id: Optional[str] = None) -> Tracer:
+        return Tracer(enabled=self.obs.trace, trace_id=trace_id)
+
+    # -- request traces -----------------------------------------------------------------
+
+    def capture_trace(
+        self,
+        tracer: Tracer,
+        sql: str,
+        session_id: int = 0,
+    ) -> Optional[RequestTrace]:
+        """Wrap a finished tracer into a :class:`RequestTrace`.
+
+        Always remembered as ``last_request_trace``; additionally pushed
+        into the slow-trace ring when auto_explain is enabled and the
+        request crossed its ``threshold_ms`` (the same knob that gates
+        slow-plan capture — one definition of "slow").
+        """
+        if not tracer.enabled or tracer.root is None:
+            return None
+        trace = RequestTrace(
+            tracer.trace_id, sql, tracer.root, session_id=session_id
+        )
+        self.last_request_trace = trace
+        if (
+            self.auto_explain.enabled
+            and trace.duration_ms >= self.auto_explain.config.threshold_ms
+        ):
+            self.traces.record(trace)
+            if self.obs.metrics:
+                self.metrics.counter("traces_captured_total").inc()
+                self.metrics.counter("trace_spans_total").inc(
+                    trace.span_count()
+                )
+        return trace
+
+    def last_trace_export(self, path: Optional[str] = None) -> str:
+        """The most recent request trace as Chrome trace-event JSON —
+        load the written file in Perfetto (https://ui.perfetto.dev) or
+        ``chrome://tracing``.  Returns the JSON text; writes *path* when
+        given (the REPL's ``\\trace export FILE``)."""
+        trace = self.last_request_trace
+        if trace is None:
+            raise EngineError("no request trace captured yet")
+        text = json.dumps(chrome_trace_events(trace), indent=1)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        return text
 
     def _select(self, stmt: SelectStmt) -> QueryResult:
         """Plan + run a SELECT under its own trace (internal entry point:
@@ -1159,10 +1320,16 @@ class Database:
             txn = session.txn
             if txn is not None:
                 if txn.snapshot is None:
-                    txn.snapshot = self.txn.versions.acquire(txn.id)
+                    with tracer.span("mvcc.acquire") as sp:
+                        txn.snapshot = self.txn.versions.acquire(txn.id)
+                        sp.set_attr("scope", "transaction")
+                        sp.add("snapshot_ts", float(txn.snapshot.ts))
                 snapshot = txn.snapshot
             else:
-                snapshot = self.txn.versions.acquire(0)
+                with tracer.span("mvcc.acquire") as sp:
+                    snapshot = self.txn.versions.acquire(0)
+                    sp.set_attr("scope", "statement")
+                    sp.add("snapshot_ts", float(snapshot.ts))
                 release = True
         try:
             with self._stmt_lock:
@@ -1172,7 +1339,8 @@ class Database:
                 )
         finally:
             if release:
-                self.txn.versions.release(snapshot)
+                with tracer.span("mvcc.release"):
+                    self.txn.versions.release(snapshot)
 
     def _run_select_locked(
         self,
@@ -1252,7 +1420,10 @@ class Database:
                     planner_stats=PlannerStats(),
                     planning_seconds=time.perf_counter() - start,
                 )
-                self._record_query(sql, hit.plan, result, result_cache_hit=True)
+                self._record_query(
+                    sql, hit.plan, result, result_cache_hit=True,
+                    session=session,
+                )
                 return result
             if self.obs.metrics:
                 self.metrics.counter("cache_result_misses_total").inc()
@@ -1357,7 +1528,8 @@ class Database:
                     self._global_epoch,
                 )
         self._record_query(
-            sql, physical, result, plan_cache_hit=plan_cache_hit
+            sql, physical, result, plan_cache_hit=plan_cache_hit,
+            session=session,
         )
         self._maybe_auto_explain(sql, physical, result)
         return result
@@ -1369,6 +1541,7 @@ class Database:
         result: QueryResult,
         plan_cache_hit: bool = False,
         result_cache_hit: bool = False,
+        session: Optional[Session] = None,
     ) -> None:
         """Feed one finished SELECT into the metrics registry and (for
         user-issued statements, ``sql is not None``) the query log.
@@ -1400,6 +1573,12 @@ class Database:
                         result.exec_metrics.parallel_workers
                     )
             m.gauge("buffer_hit_ratio").set(self.pool.stats.hit_rate)
+            if sql is not None:
+                self.latency.observe(
+                    statement_fingerprint(sql),
+                    (result.planning_seconds + result.execution_seconds)
+                    * 1000.0,
+                )
         if self.obs.feedback and not result_cache_hit:
             self._harvest_feedback(physical)
         fingerprint = plan_fingerprint(physical)
@@ -1453,6 +1632,13 @@ class Database:
                     buffer_hits=result.buffer.hits if result.buffer else 0,
                     plan_cache_hit=plan_cache_hit,
                     result_cache_hit=result_cache_hit,
+                    kind="select",
+                    session_id=session.id if session is not None else 0,
+                    txn_id=(
+                        session.txn.id
+                        if session is not None and session.txn is not None
+                        else 0
+                    ),
                 )
             )
 
@@ -1538,7 +1724,31 @@ class Database:
                 flat = event.replace(".", "_")
                 extras[f"wait_{flat}_count"] = float(count)
                 extras[f"wait_{flat}_seconds"] = total_ms / 1000.0
-            return self.metrics.render_prometheus(extras=extras)
+            extras["statement_latency_fingerprints"] = float(
+                len(self.latency)
+            )
+            extras["slow_traces_captured"] = float(self.traces.captured)
+            # per-fingerprint latency quantiles as one labeled family;
+            # sorted label bodies keep the exposition byte-stable
+            labeled = []
+            quantiles = self.latency.quantiles()
+            if quantiles:
+                labeled.append(
+                    (
+                        "statement_latency_ms",
+                        "gauge",
+                        [
+                            (
+                                f'fingerprint="{fp}",quantile="{q}"',
+                                value,
+                            )
+                            for fp, q, value in quantiles
+                        ],
+                    )
+                )
+            return self.metrics.render_prometheus(
+                extras=extras, labeled=labeled
+            )
         if format != "json":
             raise EngineError(f"unknown metrics format {format!r}")
         snap: Dict[str, Any] = self.metrics.snapshot()
@@ -1574,6 +1784,16 @@ class Database:
             "captured_total": self.auto_explain.captured_total,
             "entries": len(self.auto_explain),
         }
+        snap["traces"] = {
+            "captured_total": self.traces.captured,
+            "entries": len(self.traces.entries()),
+            "last_trace_id": (
+                self.last_request_trace.trace_id
+                if self.last_request_trace is not None
+                else None
+            ),
+        }
+        snap["statement_latency"] = self.latency.snapshot()
         return snap
 
     def _insert(self, stmt: InsertStmt) -> int:
@@ -1706,46 +1926,52 @@ class Database:
                     },
                 }
             ).encode("utf-8")
-            action = faults.FAILPOINTS.hit("checkpoint.begin")
-            begin_lsn = writer.append(
-                WalRecordType.CHECKPOINT_BEGIN, 0, payload=payload
-            )
-            writer.flush_to(begin_lsn)
-            if action is not None:
-                faults.crash()
-            flushed = 0
-            for pid in self.pool.dirty_pages():
-                if not self.txn.may_evict(pid):
-                    continue  # no-steal: an active txn owns this page
-                action = faults.FAILPOINTS.hit("checkpoint.flush")
-                if self.pool.flush_page(pid):
-                    flushed += 1
+            with trace_span("checkpoint.begin") as sp:
+                sp.add("active_txns", float(len(att)))
+                action = faults.FAILPOINTS.hit("checkpoint.begin")
+                begin_lsn = writer.append(
+                    WalRecordType.CHECKPOINT_BEGIN, 0, payload=payload
+                )
+                writer.flush_to(begin_lsn)
                 if action is not None:
                     faults.crash()
-            writer.flush_all()
+            flushed = 0
+            with trace_span("checkpoint.flush") as sp:
+                for pid in self.pool.dirty_pages():
+                    if not self.txn.may_evict(pid):
+                        continue  # no-steal: an active txn owns this page
+                    action = faults.FAILPOINTS.hit("checkpoint.flush")
+                    if self.pool.flush_page(pid):
+                        flushed += 1
+                    if action is not None:
+                        faults.crash()
+                writer.flush_all()
+                sp.add("pages_flushed", float(flushed))
             last = writer.flushed_lsn
             rec = self.txn.min_rec_lsn()
             redo_lsn = rec if rec is not None else last + 1
-            write_checkpoint(
-                self,
-                self.data_dir,
-                last,
-                self.txn.next_txn_id,
-                redo_lsn=redo_lsn,
-                active_txns=att,
-            )
-            writer.retain_from(redo_lsn)
-            action = faults.FAILPOINTS.hit("checkpoint.end")
-            lsn = writer.append(
-                WalRecordType.CHECKPOINT_END,
-                0,
-                payload=json.dumps(
-                    {"redo_lsn": redo_lsn, "last_lsn": last}
-                ).encode("utf-8"),
-            )
-            writer.flush_to(lsn)
-            if action is not None:
-                faults.crash()
+            with trace_span("checkpoint.end") as sp:
+                sp.add("redo_lsn", float(redo_lsn))
+                write_checkpoint(
+                    self,
+                    self.data_dir,
+                    last,
+                    self.txn.next_txn_id,
+                    redo_lsn=redo_lsn,
+                    active_txns=att,
+                )
+                writer.retain_from(redo_lsn)
+                action = faults.FAILPOINTS.hit("checkpoint.end")
+                lsn = writer.append(
+                    WalRecordType.CHECKPOINT_END,
+                    0,
+                    payload=json.dumps(
+                        {"redo_lsn": redo_lsn, "last_lsn": last}
+                    ).encode("utf-8"),
+                )
+                writer.flush_to(lsn)
+                if action is not None:
+                    faults.crash()
             if self.obs.metrics:
                 self.metrics.counter("checkpoints_total").inc()
                 self.metrics.counter("checkpoint_pages_flushed_total").inc(

@@ -50,6 +50,7 @@ import traceback
 from typing import List, Optional, Tuple
 
 from ..expr import compile_expr, compile_expr_batch
+from ..obs.trace import Span, Tracer, activate_tracer, active_tracer, trace_span
 from .columnar import as_row_batch
 from ..physical import (
     PExchange,
@@ -215,7 +216,10 @@ class GatherOp(Operator):
 
     def _run_inline(self, worker: int, degree: int) -> List[Row]:
         wctx = self._worker_context(worker, degree)
-        rows = self._drain(wctx)
+        with trace_span("worker") as sp:
+            sp.set_attr("worker", str(worker))
+            rows = self._drain(wctx)
+            sp.add("rows", float(len(rows)))
         self.ctx.metrics.absorb(wctx.metrics)
         self.exchange.start_loop()
         self.exchange.accumulate_actuals(rows=len(rows))
@@ -302,7 +306,28 @@ class GatherOp(Operator):
             # Zero the (private) actuals so what ships is this worker's
             # contribution alone.
             subplan.reset_actuals()
-            rows = self._drain(wctx)
+            # Request tracing across the fork: the COW-inherited tracer
+            # tells us the request's identity and clock zero; a *fresh*
+            # tracer (same trace_id, same t0, disjoint span-id range per
+            # worker) records this worker's subtree, which ships home in
+            # the payload and is grafted under the parent's execute span.
+            parent_tracer = active_tracer()
+            worker_root = None
+            if parent_tracer is not None and parent_tracer.enabled:
+                wtracer = Tracer(
+                    enabled=True,
+                    trace_id=parent_tracer.trace_id,
+                    id_base=(worker + 1) * 1_000_000,
+                    t0=parent_tracer._t0,
+                )
+                with activate_tracer(wtracer):
+                    with wtracer.span("worker") as sp:
+                        sp.set_attr("worker", str(worker))
+                        rows = self._drain(wctx)
+                        sp.add("rows", float(len(rows)))
+                worker_root = wtracer.root.to_dict()
+            else:
+                rows = self._drain(wctx)
             buf = pool.stats.delta(buf0)
             io = pool.disk.stats.delta(io0)
             m = wctx.metrics
@@ -339,6 +364,7 @@ class GatherOp(Operator):
                         name: info.access.delta(t0[name])
                         for name, info in tables.items()
                     },
+                    "spans": worker_root,
                 }
             )
             # the payload send blocks until the parent drains the pipe;
@@ -399,6 +425,11 @@ class GatherOp(Operator):
             for name, delta in taccess.items():
                 if name in tables:
                     tables[name].access.add(delta)
+        spans = payload.get("spans")
+        if spans is not None:
+            tracer = active_tracer()
+            if tracer is not None and tracer.enabled:
+                tracer.graft(Span.from_dict(spans))
         self.exchange.start_loop()
         self.exchange.accumulate_actuals(rows=len(payload["rows"]))
 

@@ -51,6 +51,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    StatementLatency,
 )
 from .plandiff import plan_diff, plan_shape_lines, plan_shape_text
 from .querylog import QueryLog, QueryLogRecord, plan_fingerprint, q_error
@@ -61,7 +62,22 @@ from .systables import (
     ActivityRegistry,
     register_system_tables,
 )
-from .trace import NULL_SPAN, Span, Tracer
+from .trace import (
+    NULL_SPAN,
+    RequestTrace,
+    Span,
+    Tracer,
+    activate_tracer,
+    active_tracer,
+    new_trace_id,
+    trace_span,
+)
+from .traceexport import (
+    TraceRing,
+    chrome_trace_events,
+    export_chrome_trace,
+    validate_chrome_trace,
+)
 from .waits import WaitEventStats
 
 __all__ = [
@@ -86,6 +102,16 @@ __all__ = [
     "Span",
     "Tracer",
     "NULL_SPAN",
+    "RequestTrace",
+    "new_trace_id",
+    "active_tracer",
+    "activate_tracer",
+    "trace_span",
+    "TraceRing",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+    "StatementLatency",
     "SearchTrace",
     "RegionSearch",
     "PathAlt",

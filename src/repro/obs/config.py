@@ -60,6 +60,14 @@ class ObsConfig:
     #: slow-statement capture; disabled by default (set ``enabled=True``
     #: or call ``Database.auto_explain.configure(enabled=True, ...)``)
     auto_explain: Optional[AutoExplainConfig] = field(default=None)
+    #: capacity of the slow-trace ring (request traces captured when
+    #: auto_explain is enabled and the request crosses its threshold;
+    #: served by ``sys_stat_traces``)
+    trace_ring_size: int = 64
+    #: fingerprints tracked by the per-statement latency store (the
+    #: ``statement_latency_ms`` quantile families in the Prometheus
+    #: exposition); new fingerprints beyond the cap are dropped
+    latency_fingerprints: int = 128
 
     @classmethod
     def off(cls) -> "ObsConfig":

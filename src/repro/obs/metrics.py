@@ -65,6 +65,18 @@ HELP_TEXTS: Dict[str, str] = {
     "feedback_entries": "cardinality-feedback keys learned",
     "plan_baselines": "statements with a stored plan baseline",
     "wait_events_total": "distinct wait events observed",
+    "dml_statements_total": "INSERT/UPDATE/DELETE statements executed",
+    "rows_modified_total": "rows inserted, updated, or deleted",
+    "dml_execution_ms": "DML statement execution latency",
+    "traces_captured_total": "request traces captured into the slow-trace ring",
+    "trace_spans_total": "spans recorded across captured request traces",
+    "statement_latency_ms": (
+        "per-fingerprint statement latency quantiles "
+        "(log-bucketed; labels: fingerprint, quantile)"
+    ),
+    "statement_latency_fingerprints": (
+        "fingerprints currently tracked by the latency store"
+    ),
 }
 
 
@@ -175,6 +187,60 @@ class Histogram:
         }
 
 
+class StatementLatency:
+    """Per-fingerprint latency distributions on a log-bucket ladder.
+
+    One :class:`Histogram` per statement fingerprint, capped at
+    *max_fingerprints* — once full, new fingerprints are dropped (and
+    counted) rather than evicting hot ones, so the exposition stays
+    bounded under adversarial workloads.  ``quantiles()`` returns the
+    sorted, deterministic view the Prometheus exporter renders as
+    ``statement_latency_ms{fingerprint=...,quantile=...}`` samples.
+    """
+
+    def __init__(
+        self,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        max_fingerprints: int = 128,
+    ):
+        self.buckets = tuple(buckets)
+        self.max_fingerprints = max_fingerprints
+        self._hists: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+        self.dropped = 0
+
+    def observe(self, fingerprint: str, value_ms: float) -> None:
+        hist = self._hists.get(fingerprint)
+        if hist is None:
+            with self._lock:
+                hist = self._hists.get(fingerprint)
+                if hist is None:
+                    if len(self._hists) >= self.max_fingerprints:
+                        self.dropped += 1
+                        return
+                    hist = Histogram(self.buckets)
+                    self._hists[fingerprint] = hist
+        hist.observe(value_ms)
+
+    def __len__(self) -> int:
+        return len(self._hists)
+
+    def quantiles(self) -> List[Tuple[str, str, float]]:
+        """Sorted ``(fingerprint, quantile, value_ms)`` samples."""
+        out: List[Tuple[str, str, float]] = []
+        with self._lock:
+            items = sorted(self._hists.items())
+        for fingerprint, hist in items:
+            for label, p in (("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99)):
+                out.append((fingerprint, label, hist.percentile(p)))
+        return out
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            items = sorted(self._hists.items())
+        return {fp: h.snapshot() for fp, h in items}
+
+
 class MetricsRegistry:
     """Named instruments, created on first use."""
 
@@ -239,6 +305,9 @@ class MetricsRegistry:
         self,
         prefix: str = "repro_",
         extras: Optional[Dict[str, float]] = None,
+        labeled: Optional[
+            List[Tuple[str, str, List[Tuple[str, float]]]]
+        ] = None,
     ) -> str:
         """Prometheus text exposition of every instrument.
 
@@ -251,11 +320,30 @@ class MetricsRegistry:
         scrape diffing never sees spurious reorderings.  ``extras``
         (plain name→value pairs, e.g. derived ratios the engine computes
         at scrape time) render as gauges in the same ordering.
+
+        ``labeled`` supplies families with label sets the registry does
+        not model itself (e.g. per-fingerprint latency quantiles): each
+        entry is ``(name, kind, [(label_body, value), ...])`` where
+        *label_body* is the pre-rendered ``key="value",...`` interior of
+        the braces.  Samples are sorted by label body so the exposition
+        stays byte-stable.
         """
         families: List[Tuple[str, str, List[str]]] = []
 
         def fam(name: str, kind: str, samples: List[str]) -> None:
             families.append((name, kind, samples))
+
+        if labeled:
+            for name, kind, pairs in labeled:
+                full = prefix + name
+                fam(
+                    name,
+                    kind,
+                    [
+                        f"{full}{{{body}}} {_fmt(value)}"
+                        for body, value in sorted(pairs)
+                    ],
+                )
 
         for name, counter in self._counters.items():
             full = prefix + name

@@ -1,9 +1,11 @@
 """Structured query log: the per-query feedback record.
 
-Every user-facing SELECT leaves one :class:`QueryLogRecord` in a bounded
-ring buffer: the SQL text, a structural *plan fingerprint* (stable across
-literal changes), estimated vs. actual cardinality and the resulting
-q-error, modeled cost vs. measured I/O, and planning/execution latency.
+Every user-facing statement — SELECTs and, since PR 10, DML — leaves one
+:class:`QueryLogRecord` in a bounded ring buffer: the SQL text, a
+structural *plan fingerprint* (stable across literal changes), estimated
+vs. actual cardinality and the resulting q-error, modeled cost vs.
+measured I/O, planning/execution latency, and session/transaction
+attribution (``kind``/``session_id``/``txn_id``).
 
 This is the feedback store estimator-correction work needs: group records
 by fingerprint, compare ``est_rows`` with ``actual_rows``, and you have
@@ -83,6 +85,9 @@ class QueryLogRecord:
     buffer_hits: int = 0  # pages served from the buffer pool
     plan_cache_hit: bool = False  # physical plan reused from the plan cache
     result_cache_hit: bool = False  # rows served from the result cache
+    kind: str = "select"  # select | insert | update | delete
+    session_id: int = 0  # owning session (0 = direct Database call)
+    txn_id: int = 0  # transaction the statement ran in (0 = autocommit)
 
     def as_dict(self) -> Dict[str, Any]:
         return asdict(self)

@@ -16,7 +16,12 @@ those tables for this engine:
 * ``sys_stat_metrics``    — every registry instrument as rows (histograms
   expand to count/sum/mean/p50/p95/p99);
 * ``sys_stat_activity``   — live in-flight statements with a progress
-  snapshot: phase, current operator, rows produced, elapsed.
+  snapshot: phase, current operator, rows produced, elapsed;
+* ``sys_stat_traces``     — the slow-trace ring: one row per captured
+  request trace (trace id, statement, duration, span count, and the
+  slowest non-root span with its share of the request);
+* ``sys_stat_locks``      — the table-lock registry: current holder and
+  reader counts plus cumulative acquisition/contention/wait totals.
 
 Each is registered with the catalog as a *provider*; when a query
 references one, the engine snapshots the provider's rows into a transient
@@ -48,6 +53,8 @@ SYSTEM_TABLE_NAMES = (
     "sys_stat_waits",
     "sys_stat_metrics",
     "sys_stat_activity",
+    "sys_stat_traces",
+    "sys_stat_locks",
 )
 
 
@@ -318,6 +325,74 @@ def _stat_activity(db: "Database") -> Tuple[Schema, Rows]:
     return schema, rows
 
 
+def _stat_traces(db: "Database") -> Tuple[Schema, Rows]:
+    """The slow-trace ring as rows, newest last.  ``top_span``/``top_ms``
+    name the slowest non-root span in each tree — usually the first
+    thing an operator wants to know about a slow request."""
+    schema = _schema(
+        "sys_stat_traces",
+        ("trace_id", DataType.TEXT),
+        ("sql", DataType.TEXT),
+        ("session_id", DataType.INT),
+        ("duration_ms", DataType.FLOAT),
+        ("spans", DataType.INT),
+        ("top_span", DataType.TEXT),
+        ("top_ms", DataType.FLOAT),
+        ("top_share", DataType.FLOAT),
+        ("captured_at", DataType.FLOAT),
+    )
+    rows: Rows = []
+    for trace in db.traces.entries():
+        top_name, top_ms = "", 0.0
+        if trace.root is not None:
+            for span in trace.root.walk():
+                if span is trace.root:
+                    continue
+                if span.duration_ms > top_ms:
+                    top_name, top_ms = span.name, span.duration_ms
+        share = top_ms / trace.duration_ms if trace.duration_ms > 0 else 0.0
+        rows.append(
+            (
+                trace.trace_id,
+                " ".join(trace.sql.split())[:200],
+                trace.session_id or 0,
+                trace.duration_ms,
+                trace.span_count(),
+                top_name,
+                top_ms,
+                share,
+                trace.captured_at,
+            )
+        )
+    return schema, rows
+
+
+def _stat_locks(db: "Database") -> Tuple[Schema, Rows]:
+    schema = _schema(
+        "sys_stat_locks",
+        ("table_name", DataType.TEXT),
+        ("holder_txn", DataType.INT),
+        ("readers", DataType.INT),
+        ("writers_waiting", DataType.INT),
+        ("acquisitions", DataType.INT),
+        ("contended", DataType.INT),
+        ("wait_ms", DataType.FLOAT),
+    )
+    rows: Rows = [
+        (
+            lock["table"],
+            lock["holder_txn"],
+            lock["readers"],
+            lock["writers_waiting"],
+            lock["acquisitions"],
+            lock["contended"],
+            lock["wait_ms"],
+        )
+        for lock in db.txn.lock_rows()
+    ]
+    return schema, rows
+
+
 def register_system_tables(db: "Database") -> None:
     """Register every ``sys_stat_*`` provider with *db*'s catalog."""
     providers = {
@@ -326,6 +401,8 @@ def register_system_tables(db: "Database") -> None:
         "sys_stat_waits": _stat_waits,
         "sys_stat_metrics": _stat_metrics,
         "sys_stat_activity": _stat_activity,
+        "sys_stat_traces": _stat_traces,
+        "sys_stat_locks": _stat_locks,
     }
     for name in SYSTEM_TABLE_NAMES:
         provider = providers[name]

@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import socket
-from dataclasses import dataclass
-from typing import Any, List, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
 from .protocol import recv_message, send_message
 
@@ -19,11 +19,18 @@ class ServerError(Exception):
 
 @dataclass
 class ClientResult:
-    """Rows as tuples, like the embedded API returns them."""
+    """Rows as tuples, like the embedded API returns them.
+
+    ``trace_id`` identifies the server-side request trace (empty when the
+    server runs untraced); ``trace`` is the span tree as nested dicts,
+    present only when the request asked for it with ``trace=True``.
+    """
 
     rows: List[Tuple[Any, ...]]
     columns: List[str]
     in_transaction: bool = False
+    trace_id: str = ""
+    trace: Optional[Dict[str, Any]] = field(default=None, repr=False)
 
     @property
     def rowcount(self) -> int:
@@ -38,8 +45,22 @@ class Client:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
-    def execute(self, sql: str) -> ClientResult:
-        send_message(self._sock, {"sql": sql})
+    def execute(
+        self,
+        sql: str,
+        trace_id: Optional[str] = None,
+        trace: bool = False,
+    ) -> ClientResult:
+        """Run one statement.  Pass *trace_id* to stamp the server-side
+        request trace with a caller-chosen id (end-to-end correlation
+        across services); pass ``trace=True`` to get the finished span
+        tree back on the result."""
+        request: Dict[str, Any] = {"sql": sql}
+        if trace_id is not None:
+            request["trace_id"] = trace_id
+        if trace:
+            request["trace"] = True
+        send_message(self._sock, request)
         reply = recv_message(self._sock)
         if not reply.get("ok"):
             raise ServerError(
@@ -50,6 +71,8 @@ class Client:
             rows=[tuple(row) for row in reply.get("rows", [])],
             columns=list(reply.get("columns", [])),
             in_transaction=bool(reply.get("in_transaction")),
+            trace_id=str(reply.get("trace_id", "")),
+            trace=reply.get("trace"),
         )
 
     query = execute

@@ -6,6 +6,13 @@ One message per statement in each direction.  Requests are
 "error_type": "EngineError"}``.  JSON keeps the protocol inspectable
 with ``nc``/``tcpdump`` and the framing makes message boundaries exact
 regardless of TCP segmentation.
+
+Distributed-tracing extensions (all optional, ignored by old peers):
+a request may carry ``"trace_id"`` (a client-chosen id propagated into
+the server-side request trace) and ``"trace": true`` (ship the span tree
+back in the response).  Responses carry ``"trace_id"`` whenever tracing
+is enabled server-side, and ``"trace"`` (the span tree as nested dicts)
+when asked for.
 """
 
 from __future__ import annotations
@@ -13,7 +20,8 @@ from __future__ import annotations
 import json
 import socket
 import struct
-from typing import Any, Dict
+import time
+from typing import Any, Dict, Tuple
 
 #: refuse absurd frames (a corrupted length prefix would otherwise make
 #: the reader try to allocate gigabytes)
@@ -26,11 +34,22 @@ class ProtocolError(Exception):
     """Malformed frame or JSON on the wire."""
 
 
-def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One framed message as raw bytes (length prefix included)."""
     body = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_MESSAGE_BYTES:
         raise ProtocolError(f"message too large ({len(body)} bytes)")
-    sock.sendall(_LEN.pack(len(body)) + body)
+    return _LEN.pack(len(body)) + body
+
+
+def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+    sock.sendall(encode_message(message))
+
+
+def send_frame(sock: socket.socket, frame: bytes) -> None:
+    """Send bytes already framed by :func:`encode_message` (lets the
+    server time encoding separately from the socket write)."""
+    sock.sendall(frame)
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -64,3 +83,29 @@ def recv_message(sock: socket.socket) -> Dict[str, Any]:
     if not isinstance(message, dict):
         raise ProtocolError("message must be a JSON object")
     return message
+
+
+def recv_message_timed(
+    sock: socket.socket,
+) -> Tuple[Dict[str, Any], float]:
+    """Like :func:`recv_message`, plus the seconds spent reading and
+    decoding *after the frame header arrived* — i.e. excluding the idle
+    wait for the next request, so the server can report it as the
+    request's ``protocol.decode`` span."""
+    header = sock.recv(_LEN.size)
+    if not header:
+        raise ConnectionError("peer disconnected")
+    start = time.perf_counter()
+    if len(header) < _LEN.size:
+        header += _recv_exact(sock, _LEN.size - len(header))
+    (length,) = _LEN.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds maximum")
+    body = _recv_exact(sock, length)
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad message body: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message, time.perf_counter() - start

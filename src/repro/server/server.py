@@ -7,6 +7,15 @@ under its session id, and a dropped connection rolls its open
 transaction back.  The engine serializes statement bodies internally;
 concurrency still pays off because lock waits and COMMIT fsyncs happen
 outside the statement lock (group commit).
+
+Every request runs under its own request trace (when the database has
+tracing on): a ``request`` root span with ``protocol.decode`` →
+``session.dispatch`` (the engine's whole span tree, lock waits, WAL
+appends, fsyncs, worker spans included) → ``protocol.encode`` children.
+Clients may supply their own ``trace_id`` for end-to-end correlation and
+ask for the span tree back with ``"trace": true``; the finished trace is
+also captured engine-side (``Database.last_request_trace``, the
+slow-trace ring, ``sys_stat_traces``).
 """
 
 from __future__ import annotations
@@ -15,7 +24,14 @@ import socket
 import threading
 from typing import List, Optional, Tuple
 
-from .protocol import ProtocolError, recv_message, send_message
+from ..obs import Tracer, activate_tracer
+from .protocol import (
+    ProtocolError,
+    encode_message,
+    recv_message_timed,
+    send_frame,
+    send_message,
+)
 
 
 class DatabaseServer:
@@ -113,7 +129,7 @@ class DatabaseServer:
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             while True:
                 try:
-                    request = recv_message(conn)
+                    request, decode_s = recv_message_timed(conn)
                 except (ConnectionError, OSError):
                     return
                 except ProtocolError as exc:
@@ -140,7 +156,11 @@ class DatabaseServer:
                         },
                     )
                     continue
-                self._send_safe(conn, self._run(session, sql))
+                frame = self._handle_request(session, sql, request, decode_s)
+                try:
+                    send_frame(conn, frame)
+                except OSError:
+                    return
         finally:
             session.close()  # rolls back any open transaction
             try:
@@ -151,9 +171,54 @@ class DatabaseServer:
                 if conn in self._conns:
                     self._conns.remove(conn)
 
-    def _run(self, session, sql: str) -> dict:
+    def _handle_request(
+        self, session, sql: str, request: dict, decode_s: float
+    ) -> bytes:
+        """Run one SQL request under a request-scoped trace and return
+        the already-encoded response frame.
+
+        The span tree shipped back to the client (``"trace": true``) is
+        snapshotted *before* ``protocol.encode`` — a tree cannot contain
+        its own final encoding — but the full tree, encode span
+        included, is captured engine-side as the last request trace.
+        """
+        trace_id = request.get("trace_id")
+        tracer = Tracer(
+            enabled=self.db.obs.trace,
+            trace_id=trace_id if isinstance(trace_id, str) else None,
+        )
+        with activate_tracer(tracer):
+            with tracer.span("request") as root:
+                root.set_attr("session", str(session.id))
+                tracer.record_span("protocol.decode", decode_s * 1000.0)
+                with tracer.span("session.dispatch"):
+                    response = self._run(session, sql, tracer)
+                if tracer.enabled:
+                    response["trace_id"] = tracer.trace_id
+                    if request.get("trace"):
+                        # provisional duration: the root is still open
+                        # (it cannot contain its own final encoding), so
+                        # stamp elapsed-so-far for the client's copy
+                        root.duration_ms = tracer.now_ms() - root.start_ms
+                        response["trace"] = tracer.root.to_dict()
+                with tracer.span("protocol.encode") as sp:
+                    try:
+                        frame = encode_message(response)
+                    except ProtocolError as exc:
+                        frame = encode_message(
+                            {
+                                "ok": False,
+                                "error": str(exc),
+                                "error_type": "ProtocolError",
+                            }
+                        )
+                    sp.add("bytes", float(len(frame)))
+        self.db.capture_trace(tracer, sql, session_id=session.id)
+        return frame
+
+    def _run(self, session, sql: str, tracer=None) -> dict:
         try:
-            result = session.execute(sql)
+            result = session.execute(sql, tracer=tracer)
         except Exception as exc:  # engine errors travel as payloads
             return {
                 "ok": False,

@@ -23,6 +23,7 @@ import threading
 import time
 from typing import List, Optional, Tuple
 
+from ..obs.trace import trace_span
 from ..qa import faults
 from .records import (
     WalRecord,
@@ -73,7 +74,7 @@ class WalWriter:
         payload: bytes = b"",
     ) -> int:
         """Append one record; returns its LSN.  Not yet durable."""
-        with self._append_lock:
+        with trace_span("wal.append", merge=True), self._append_lock:
             lsn = self.next_lsn
             self.next_lsn += 1
             data = encode_record(
@@ -122,8 +123,14 @@ class WalWriter:
                 faults.crash()
             start = time.perf_counter() if self.waits is not None else 0.0
             if self.sync:
-                os.fsync(self._file.fileno())
-                self.fsyncs += 1
+                # One wal.fsync span per real fsync: the skip paths above
+                # (already covered by a concurrent committer) record
+                # nothing, so span counts reconcile exactly with the
+                # ``fsyncs`` counter even under group commit.
+                with trace_span("wal.fsync") as sp:
+                    os.fsync(self._file.fileno())
+                    self.fsyncs += 1
+                    sp.add("covered_lsn", float(target))
             if self.waits is not None:
                 self.waits.record("wal.fsync", time.perf_counter() - start)
             self.flushed_lsn = target

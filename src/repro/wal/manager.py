@@ -39,6 +39,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from ..obs.trace import trace_span
 from .log import WalWriter
 from .mvcc import Snapshot, VersionStore
 from .records import WalRecordType
@@ -77,15 +78,31 @@ class Transaction:
 
 
 class _TableLock:
-    """A reader-writer lock with writer owner tracking."""
+    """A reader-writer lock with writer owner tracking.
 
-    __slots__ = ("cond", "readers", "writer", "writer_waiting")
+    Carries its own cumulative statistics (acquisitions, contended
+    acquisitions, total wait) so ``sys_stat_locks`` can serve a per-table
+    contention view without a second registry.
+    """
+
+    __slots__ = (
+        "cond",
+        "readers",
+        "writer",
+        "writer_waiting",
+        "acquisitions",
+        "contended",
+        "wait_seconds",
+    )
 
     def __init__(self) -> None:
         self.cond = threading.Condition()
         self.readers = 0
         self.writer: Optional[int] = None  # owning txn id
         self.writer_waiting = 0
+        self.acquisitions = 0
+        self.contended = 0
+        self.wait_seconds = 0.0
 
 
 class TxnManager:
@@ -399,8 +416,9 @@ class TxnManager:
                 lock = self._locks[key] = _TableLock()
             return lock
 
-    def _timed_wait(self, lock: _TableLock, ready, table: str) -> None:
-        """Wait on *lock.cond* until ``ready()``; record contended time."""
+    def _timed_wait(self, lock: _TableLock, ready, table: str) -> float:
+        """Wait on *lock.cond* until ``ready()``; record contended time.
+        Returns the seconds spent waiting."""
         deadline = time.monotonic() + self.lock_timeout
         start = time.monotonic()
         try:
@@ -416,6 +434,7 @@ class TxnManager:
             waited = time.monotonic() - start
             if self.waits is not None and waited > 0.0005:
                 self.waits.record("lock.table", waited)
+        return waited
 
     def lock_table(self, txn: Transaction, table: str) -> None:
         """Acquire *table* exclusively for *txn* (held until txn end)."""
@@ -423,17 +442,26 @@ class TxnManager:
         if key in txn.locked_tables:
             return
         lock = self._lock_for(key)
-        with lock.cond:
-            lock.writer_waiting += 1
-            try:
-                self._timed_wait(
-                    lock,
-                    lambda: lock.writer is None and lock.readers == 0,
-                    table,
-                )
-                lock.writer = txn.id
-            finally:
-                lock.writer_waiting -= 1
+        with trace_span("lock.acquire") as sp:
+            sp.set_attr("table", key)
+            sp.set_attr("mode", "exclusive")
+            with lock.cond:
+                lock.writer_waiting += 1
+                contended = lock.writer is not None or lock.readers > 0
+                try:
+                    waited = self._timed_wait(
+                        lock,
+                        lambda: lock.writer is None and lock.readers == 0,
+                        table,
+                    )
+                    lock.writer = txn.id
+                    lock.acquisitions += 1
+                    lock.wait_seconds += waited
+                    if contended:
+                        lock.contended += 1
+                        sp.add("wait_ms", waited * 1000.0)
+                finally:
+                    lock.writer_waiting -= 1
         txn.locked_tables.add(key)
 
     def _release_write(self, txn: Transaction, table: str) -> None:
@@ -457,13 +485,22 @@ class TxnManager:
         try:
             for table in sorted({t.lower() for t in tables}):
                 lock = self._lock_for(table)
-                with lock.cond:
-                    if txn is not None and lock.writer == txn.id:
-                        continue  # our own write lock covers the read
-                    self._timed_wait(
-                        lock, lambda lk=lock: lk.writer is None, table
-                    )
-                    lock.readers += 1
+                with trace_span("lock.acquire") as sp:
+                    sp.set_attr("table", table)
+                    sp.set_attr("mode", "shared")
+                    with lock.cond:
+                        if txn is not None and lock.writer == txn.id:
+                            continue  # our own write lock covers the read
+                        contended = lock.writer is not None
+                        waited = self._timed_wait(
+                            lock, lambda lk=lock: lk.writer is None, table
+                        )
+                        lock.readers += 1
+                        lock.acquisitions += 1
+                        lock.wait_seconds += waited
+                        if contended:
+                            lock.contended += 1
+                            sp.add("wait_ms", waited * 1000.0)
                 acquired.append(table)
         except BaseException:
             self.unlock_shared(acquired)
@@ -477,6 +514,28 @@ class TxnManager:
                 lock.readers -= 1
                 if lock.readers == 0:
                     lock.cond.notify_all()
+
+    def lock_rows(self) -> List[Dict[str, Any]]:
+        """Point-in-time view of every table lock ever touched, for
+        ``sys_stat_locks``: current holder/waiters plus cumulative
+        acquisition and contention statistics."""
+        with self._locks_guard:
+            items = sorted(self._locks.items())
+        rows: List[Dict[str, Any]] = []
+        for table, lock in items:
+            with lock.cond:
+                rows.append(
+                    {
+                        "table": table,
+                        "holder_txn": lock.writer or 0,
+                        "readers": lock.readers,
+                        "writers_waiting": lock.writer_waiting,
+                        "acquisitions": lock.acquisitions,
+                        "contended": lock.contended,
+                        "wait_ms": lock.wait_seconds * 1000.0,
+                    }
+                )
+        return rows
 
 
 class _Activation:

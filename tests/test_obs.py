@@ -315,9 +315,12 @@ class TestDatabaseObservability:
 
 _HELP_RE = r"^# HELP repro_[a-zA-Z_][a-zA-Z0-9_]* \S.*$"
 _TYPE_RE = r"^# TYPE repro_[a-zA-Z_][a-zA-Z0-9_]* (counter|gauge|histogram)$"
+# a sample may carry any label set (histogram ``le``, the latency
+# families' ``fingerprint``/``quantile``), comma-separated, sorted
 _SAMPLE_RE = (
     r"^repro_[a-zA-Z_][a-zA-Z0-9_]*"
-    r'(\{le="[^"]+"\})?'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
     r" (\+Inf|-Inf|-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$"
 )
 
